@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: chip-multiprocessor co-execution. EVE is a *private*
+ * per-core engine (Section V); two cores that both spawn engines
+ * share only the LLC and the DRAM channel. This harness measures the
+ * slowdown a core suffers when a memory-hungry neighbour runs
+ * alongside it, for scalar, DV, and EVE cores.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+
+    std::printf("Ablation: two-core co-execution (shared LLC + DRAM)\n"
+                "Slowdown of the observed core when a vvadd-streaming "
+                "neighbour co-runs:\n\n");
+
+    TextTable table({"observed core / workload", "solo (ms)",
+                     "co-run (ms)", "slowdown"});
+
+    struct Case
+    {
+        SystemKind kind;
+        unsigned pf;
+        const char* workload;
+    };
+    const Case cases[] = {
+        {SystemKind::O3, 8, "pathfinder"},
+        {SystemKind::O3DV, 8, "pathfinder"},
+        {SystemKind::O3EVE, 8, "pathfinder"},
+        {SystemKind::O3EVE, 8, "vvadd"},
+        {SystemKind::O3EVE, 8, "mmult"},
+    };
+
+    for (const Case& c : cases) {
+        SystemConfig observed;
+        observed.kind = c.kind;
+        observed.eve_pf = c.pf;
+
+        auto solo_w = makeWorkload(c.workload, small);
+        const RunResult solo = runWorkload(observed, *solo_w);
+
+        // Neighbour: an EVE-8 core streaming vvadd.
+        SystemConfig neighbour;
+        neighbour.kind = SystemKind::O3EVE;
+        neighbour.eve_pf = 8;
+        auto noise = makeWorkload("vvadd", small);
+        auto contended_w = makeWorkload(c.workload, small);
+        const auto [noise_r, contended] =
+            runCmpPair(neighbour, *noise, observed, *contended_w);
+        if (contended.mismatches || noise_r.mismatches)
+            fatal("functional failure in CMP pair");
+
+        table.addRow({systemName(observed) + " / " + c.workload,
+                      TextTable::num(solo.seconds * 1e3, 3),
+                      TextTable::num(contended.seconds * 1e3, 3),
+                      TextTable::num(contended.seconds / solo.seconds,
+                                     2) + "x"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Memory-bound work suffers from the shared channel; "
+                "compute-bound EVE work is insulated.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: DTU count sweep (the transpose/detranspose bandwidth
+ * study behind Figure 7's ld_dt/st_dt categories). pathfinder is the
+ * paper's transpose-sensitive workload; EVE-32 needs no transpose
+ * and should be insensitive.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+
+    std::printf("Ablation: DTU count vs. performance "
+                "(speed-up over the 8-DTU baseline)\n\n");
+
+    const unsigned sweeps[] = {1, 2, 4, 8, 16, 32};
+    std::vector<std::string> headers = {"config"};
+    for (unsigned d : sweeps)
+        headers.push_back(std::to_string(d) + " DTUs");
+    TextTable table(headers);
+
+    struct Case
+    {
+        const char* workload;
+        unsigned pf;
+    };
+    for (const Case c : {Case{"pathfinder", 8}, Case{"mmult", 4},
+                         Case{"vvadd", 8}, Case{"pathfinder", 32}}) {
+        double base_seconds = 0.0;
+        std::vector<double> seconds;
+        for (unsigned d : sweeps) {
+            SystemConfig cfg;
+            cfg.kind = SystemKind::O3EVE;
+            cfg.eve_pf = c.pf;
+            cfg.dtus = d;
+            auto w = makeWorkload(c.workload, small);
+            const RunResult r = runWorkload(cfg, *w);
+            if (r.mismatches)
+                fatal("%s failed functionally", c.workload);
+            if (d == 8)
+                base_seconds = r.seconds;
+            seconds.push_back(r.seconds);
+        }
+        std::vector<std::string> row = {
+            std::string(c.workload) + " @ EVE-" + std::to_string(c.pf)};
+        for (double s : seconds)
+            row.push_back(TextTable::num(base_seconds / s, 2));
+        table.addRow(row);
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: LLC MSHR sweep (the paper's "Limited MSHR Effect" and
+ * its future-work direction). backprop and k-means are the
+ * MSHR-starved workloads; performance should scale with the MSHR
+ * count until another bottleneck takes over.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+
+    std::printf("Ablation: LLC MSHR count vs. EVE-8 performance\n"
+                "(speed-up over the 32-MSHR Table III baseline)\n\n");
+
+    const unsigned sweeps[] = {8, 16, 32, 64, 128, 256};
+    std::vector<std::string> headers = {"workload"};
+    for (unsigned m : sweeps)
+        headers.push_back(std::to_string(m) + " MSHRs");
+    TextTable table(headers);
+
+    for (const auto* wname : {"backprop", "k-means", "vvadd"}) {
+        double base_seconds = 0.0;
+        std::vector<double> seconds;
+        for (unsigned m : sweeps) {
+            SystemConfig cfg;
+            cfg.kind = SystemKind::O3EVE;
+            cfg.eve_pf = 8;
+            cfg.llc_mshrs = m;
+            auto w = makeWorkload(wname, small);
+            const RunResult r = runWorkload(cfg, *w);
+            if (r.mismatches)
+                fatal("%s failed functionally", wname);
+            if (m == 32)
+                base_seconds = r.seconds;
+            seconds.push_back(r.seconds);
+        }
+        std::vector<std::string> row = {wname};
+        for (double s : seconds)
+            row.push_back(TextTable::num(base_seconds / s, 2));
+        table.addRow(row);
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: LLC stream prefetching (the paper's future-work
+ * direction — "address the limited MSHRs efficiently to enable EVE
+ * to utilize memory bandwidth more effectively"). A next-N-line
+ * prefetcher at the LLC converts demand misses into hits for
+ * unit-stride vector streams without consuming the VMU's MSHR
+ * window; large-stride kernels (backprop) see no benefit.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+
+    std::printf("Ablation: LLC stream prefetch depth vs. EVE-8 "
+                "performance\n(speed-up over the no-prefetch Table "
+                "III baseline)\n\n");
+
+    const unsigned depths[] = {0, 1, 2, 4, 8};
+    std::vector<std::string> headers = {"workload"};
+    for (unsigned d : depths)
+        headers.push_back("N=" + std::to_string(d));
+    TextTable table(headers);
+
+    for (const char* wname :
+         {"vvadd", "pathfinder", "jacobi-2d", "backprop"}) {
+        double base_seconds = 0.0;
+        std::vector<std::string> row = {wname};
+        for (unsigned d : depths) {
+            SystemConfig cfg;
+            cfg.kind = SystemKind::O3EVE;
+            cfg.eve_pf = 8;
+            cfg.llc_prefetch_lines = d;
+            auto w = makeWorkload(wname, small);
+            const RunResult r = runWorkload(cfg, *w);
+            if (r.mismatches)
+                fatal("%s failed functionally", wname);
+            if (d == 0)
+                base_seconds = r.seconds;
+            row.push_back(TextTable::num(base_seconds / r.seconds, 2));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Unit-stride streams gain until DRAM bandwidth "
+                "saturates; the one-line-per-element\nstrided walk "
+                "of backprop is prefetch-immune (the next line is "
+                "not the next element).\n");
+    return 0;
+}

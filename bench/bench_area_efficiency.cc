@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Section VII area-efficiency analysis: system area relative to the
+ * O3 core, and area-normalized performance (geomean speed-up over IO
+ * divided by relative area). The paper's headline: EVE-8 achieves
+ * DV-class performance at IV-class area — over 2x the
+ * area-normalized performance of O3+DV.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "analytic/circuits.hh"
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+namespace
+{
+
+double
+systemArea(const SystemConfig& cfg)
+{
+    switch (cfg.kind) {
+      case SystemKind::IO:
+      case SystemKind::O3:
+        return SystemAreaModel::o3();
+      case SystemKind::O3IV:
+        return SystemAreaModel::o3iv();
+      case SystemKind::O3DV:
+        return SystemAreaModel::o3dv();
+      case SystemKind::O3EVE:
+        return SystemAreaModel::o3eve(cfg.eve_pf);
+    }
+    return 1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+
+    const char* subset[] = {"k-means", "pathfinder", "jacobi-2d",
+                            "backprop", "sw"};
+
+    std::printf("Area efficiency (Section VII)\n\n");
+    TextTable table({"system", "area vs O3", "geomean speedup vs IO",
+                     "area-normalized"});
+
+    double io_seconds[5] = {};
+    std::vector<std::pair<std::string, double>> results;
+    for (const auto& cfg : bench::fig6Systems()) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < 5; ++i) {
+            auto w = makeWorkload(subset[i], small);
+            const RunResult r = runWorkload(cfg, *w);
+            if (r.mismatches)
+                fatal("%s failed functionally on %s", subset[i],
+                      r.system.c_str());
+            if (cfg.kind == SystemKind::IO)
+                io_seconds[i] = r.seconds;
+            acc += std::log(io_seconds[i] / r.seconds);
+        }
+        const double geomean = std::exp(acc / 5.0);
+        const double area = systemArea(cfg);
+        table.addRow({systemName(cfg), TextTable::num(area, 2),
+                      TextTable::num(geomean, 2),
+                      TextTable::num(geomean / area, 2)});
+        results.emplace_back(systemName(cfg), geomean / area);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double dv = 0, e8 = 0;
+    for (const auto& [name, val] : results) {
+        if (name == "O3+DV")
+            dv = val;
+        if (name == "O3+EVE-8")
+            e8 = val;
+    }
+    std::printf("EVE-8 area-normalized performance = %.2fx O3+DV "
+                "(paper: over 2x)\n", e8 / dv);
+    return 0;
+}

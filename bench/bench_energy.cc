@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Energy analysis (Section VII): estimated energy per run and per
+ * useful element operation for every system, plus the blc/read and
+ * peak-power figures from the circuits evaluation. Absolute joules
+ * are first-order estimates; the comparative ordering is the result.
+ */
+
+#include <cstdio>
+
+#include "analytic/circuits.hh"
+#include "analytic/energy.hh"
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+
+    std::printf("Energy analysis (first-order 28nm-class model)\n\n");
+    std::printf("Circuit-level figures (Section VI): blc = %.2fx a "
+                "vanilla read;\npeak array power +%.0f%%; non-blc "
+                "extra uops cheaper than reads.\n\n",
+                CircuitModel::blcEnergyVsRead(),
+                CircuitModel::peakPowerOverheadPct());
+
+    for (const auto* wname : {"jacobi-2d", "vvadd", "sw"}) {
+        TextTable table({"system", "core (uJ)", "engine (uJ)",
+                         "cache (uJ)", "dram (uJ)", "total (uJ)",
+                         "energy x delay (rel)"});
+        double base_edp = 0.0;
+        for (const auto& cfg : bench::fig6Systems()) {
+            auto w = makeWorkload(wname, small);
+            const RunResult r = runWorkload(cfg, *w);
+            if (r.mismatches)
+                fatal("%s failed functionally on %s", wname,
+                      r.system.c_str());
+            const EnergyReport e = estimateEnergy(r, cfg);
+            const double edp = e.total_nj() * r.seconds;
+            if (cfg.kind == SystemKind::IO)
+                base_edp = edp;
+            table.addRow({r.system,
+                          TextTable::num(e.core_nj / 1e3, 1),
+                          TextTable::num(e.engine_nj / 1e3, 1),
+                          TextTable::num(e.cache_nj / 1e3, 1),
+                          TextTable::num(e.dram_nj / 1e3, 1),
+                          TextTable::num(e.total_nj() / 1e3, 1),
+                          TextTable::num(edp / base_edp, 3)});
+        }
+        std::printf("%s\n%s\n", wname, table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 2: latency and throughput of vector add/logic and multiply
+ * versus the parallelization factor, for a 256x256 S-CIM SRAM with
+ * 32 vector registers, normalized to pf = 1. Latencies come from the
+ * real micro-program lengths of the macro-op library.
+ */
+
+#include <cstdio>
+
+#include "analytic/taxonomy.hh"
+#include "driver/table.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    std::printf("Figure 2: latency & throughput vs. parallelization "
+                "factor\n(256x256 S-CIM SRAM, 32 vregs, normalized "
+                "to pf=1)\n\n");
+
+    TaxonomyParams params;
+    const auto sweep = taxonomySweep(params);
+    const auto& base = sweep.front();
+
+    TextTable table({"pf (ALUs)", "add lat", "mul lat", "add thr",
+                     "mul thr", "add cyc", "mul cyc"});
+    for (const auto& p : sweep) {
+        table.addRow({std::to_string(p.pf) + " (" +
+                          std::to_string(p.alus) + ")",
+                      TextTable::num(double(p.addLatency) /
+                                     double(base.addLatency), 3),
+                      TextTable::num(double(p.mulLatency) /
+                                     double(base.mulLatency), 3),
+                      TextTable::num(p.addThroughput /
+                                     base.addThroughput, 2),
+                      TextTable::num(p.mulThroughput /
+                                     base.mulThroughput, 2),
+                      std::to_string(p.addLatency),
+                      std::to_string(p.mulLatency)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Locate the throughput peak (the paper's balanced-utilization
+    // point is pf = 4).
+    unsigned best_pf = 1;
+    double best = 0;
+    for (const auto& p : sweep)
+        if (p.addThroughput > best) {
+            best = p.addThroughput;
+            best_pf = p.pf;
+        }
+    std::printf("add/logic throughput peaks at pf = %u "
+                "(paper: pf = 4, balanced utilization)\n", best_pf);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 6: performance of every simulated system on every workload,
+ * normalized to the in-order core (IO). Also prints the geometric
+ * mean over the paper's geomean subset {k-means, pathfinder,
+ * jacobi-2d, backprop, sw}.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+    const auto systems = bench::fig6Systems();
+
+    const std::set<std::string> geomean_set = {
+        "k-means", "pathfinder", "jacobi-2d", "backprop", "sw"};
+
+    std::vector<std::string> headers = {"workload"};
+    for (const auto& cfg : systems)
+        headers.push_back(systemName(cfg));
+    TextTable table(headers);
+
+    std::map<std::string, double> geo_acc;
+    std::map<std::string, int> geo_n;
+
+    std::printf("Figure 6: speed-up over the in-order core (IO)\n");
+    std::printf("(higher is better; %s inputs)\n\n",
+                small ? "small smoke-test" : "full");
+
+    for (const auto& wname :
+         {"vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
+          "backprop", "sw"}) {
+        double io_seconds = 0.0;
+        std::vector<std::string> row = {wname};
+        for (const auto& cfg : systems) {
+            auto w = makeWorkload(wname, small);
+            const RunResult r = runWorkload(cfg, *w);
+            if (r.mismatches)
+                fatal("%s failed functionally on %s", wname,
+                      r.system.c_str());
+            if (cfg.kind == SystemKind::IO)
+                io_seconds = r.seconds;
+            const double speedup = io_seconds / r.seconds;
+            row.push_back(TextTable::num(speedup, 2));
+            if (geomean_set.count(wname)) {
+                geo_acc[r.system] += std::log(speedup);
+                geo_n[r.system] += 1;
+            }
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> geo_row = {"geomean*"};
+    for (const auto& cfg : systems) {
+        const std::string name = systemName(cfg);
+        geo_row.push_back(TextTable::num(
+            std::exp(geo_acc[name] / geo_n[name]), 2));
+    }
+    table.addRow(geo_row);
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("* geomean over {k-means, pathfinder, jacobi-2d, "
+                "backprop, sw} (the paper's subset)\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 7: execution breakdown of every EVE design on every
+ * workload, normalized to EVE-1's execution time — busy vs. the
+ * stall categories (VRU, load/store memory, load/store transpose,
+ * VMU structural, empty, dependency).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+
+    std::printf("Figure 7: EVE execution breakdown, normalized to "
+                "EVE-1 execution time\n\n");
+
+    for (const auto* wname :
+         {"vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
+          "backprop", "sw"}) {
+        TextTable table({"design", "total", "busy", "vru", "ld_mem",
+                         "st_mem", "ld_dt", "st_dt", "vmu", "empty",
+                         "dep"});
+        double eve1_ticks = 0.0;
+        for (const auto& cfg : bench::eveSystems()) {
+            auto w = makeWorkload(wname, small);
+            System sys(cfg);
+            const RunResult r = sys.run(*w);
+            if (r.mismatches)
+                fatal("%s failed functionally on %s", wname,
+                      r.system.c_str());
+            if (cfg.eve_pf == 1)
+                eve1_ticks = r.total_ticks;
+            const auto& b = r.breakdown;
+            auto norm = [&](double v) {
+                return TextTable::num(v / eve1_ticks, 3);
+            };
+            table.addRow({"EVE-" + std::to_string(cfg.eve_pf),
+                          norm(r.total_ticks), norm(b.busy),
+                          norm(b.vru_stall), norm(b.ld_mem_stall),
+                          norm(b.st_mem_stall), norm(b.ld_dt_stall),
+                          norm(b.st_dt_stall), norm(b.vmu_stall),
+                          norm(b.empty_stall), norm(b.dep_stall)});
+        }
+        std::printf("%s\n%s\n", wname, table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's hot
+ * components: EVE SRAM micro-op execution, macro-op program
+ * generation, cache access timing, and the functional vector
+ * machine. These guard the simulator's own performance (a full
+ * Figure 6 sweep replays ~10^9 events).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/sram/eve_sram.hh"
+#include "core/uprog/macro_lib.hh"
+#include "isa/functional.hh"
+#include "mem/hierarchy.hh"
+
+namespace
+{
+
+using namespace eve;
+
+void
+BM_EveSramAdd(benchmark::State& state)
+{
+    EveSramConfig cfg;
+    cfg.lanes = unsigned(state.range(0));
+    cfg.pf = 8;
+    EveSram sram(cfg);
+    MacroLib lib(cfg);
+    Instr add;
+    add.op = Op::VAdd;
+    add.dst = 1;
+    add.src1 = 2;
+    add.src2 = 3;
+    const MacroProgram prog = lib.build(add).prog;
+    for (auto _ : state)
+        sram.run(prog);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(prog.size()));
+}
+BENCHMARK(BM_EveSramAdd)->Arg(8)->Arg(64);
+
+void
+BM_MacroLibBuildMul(benchmark::State& state)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 1;
+    cfg.pf = unsigned(state.range(0));
+    MacroLib lib(cfg);
+    Instr mul;
+    mul.op = Op::VMul;
+    mul.dst = 1;
+    mul.src1 = 2;
+    mul.src2 = 3;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lib.build(mul));
+}
+BENCHMARK(BM_MacroLibBuildMul)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_CacheAccessStream(benchmark::State& state)
+{
+    HierarchyParams hp;
+    MemHierarchy mem(hp);
+    Rng rng(1);
+    Tick t = 0;
+    for (auto _ : state) {
+        t += 1025;
+        benchmark::DoNotOptimize(
+            mem.l1d().access(rng.below(1 << 22), false, t));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessStream);
+
+void
+BM_VecMachineAdd(benchmark::State& state)
+{
+    ByteMem mem(1 << 16);
+    VecMachine machine(mem, 2048);
+    Instr add;
+    add.op = Op::VAdd;
+    add.dst = 1;
+    add.src1 = 2;
+    add.src2 = 3;
+    add.vl = 2048;
+    for (auto _ : state)
+        machine.consume(add);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 2048);
+}
+BENCHMARK(BM_VecMachineAdd);
+
+} // namespace
+
+BENCHMARK_MAIN();

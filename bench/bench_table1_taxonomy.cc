@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table I: the taxonomy of vector architectures. Static summary,
+ * printed with the attributes the simulated systems exhibit so the
+ * table is backed by configuration rather than prose.
+ */
+
+#include <cstdio>
+
+#include "driver/system.hh"
+#include "driver/table.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    std::printf("Table I: a summary of vector architectures\n\n");
+    TextTable table({"attribute", "packed SIMD", "long vector",
+                     "next generation"});
+    table.addRow({"length", "fixed, short", "scalable, long",
+                  "scalable"});
+    table.addRow({"element width", "variable", "fixed", "variable"});
+    table.addRow({"predication", "limited", "full", "full"});
+    table.addRow({"cross-element ops", "full", "limited", "full"});
+    table.addRow({"gather/scatter", "limited", "full", "full"});
+    table.addRow({"integration", "integrated", "decoupled", "either"});
+    table.addRow({"speculative execution", "yes", "no", "either"});
+    table.addRow({"compute pipeline", "integrated", "decoupled",
+                  "either"});
+    table.addRow({"memory bandwidth", "modest", "large", "either"});
+    table.addRow({"memory latency", "low", "high", "either"});
+    std::printf("%s\n", table.render().c_str());
+
+    // Back the "next generation" column with this repo's systems.
+    std::printf("Simulated next-generation implementations:\n");
+    TextTable impls({"system", "hw vl", "integration"});
+    for (auto kind : {SystemKind::O3IV, SystemKind::O3DV,
+                      SystemKind::O3EVE}) {
+        SystemConfig cfg;
+        cfg.kind = kind;
+        System sys(cfg);
+        impls.addRow({systemName(cfg),
+                      std::to_string(sys.hwVectorLength()),
+                      kind == SystemKind::O3IV ? "integrated"
+                                               : "decoupled"});
+    }
+    std::printf("%s", impls.render().c_str());
+    return 0;
+}

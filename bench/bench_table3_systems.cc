@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table III: the simulated systems — printed from the live
+ * configuration objects so the table cannot drift from the code.
+ */
+
+#include <cstdio>
+
+#include "analytic/circuits.hh"
+#include "bench_util.hh"
+#include "driver/table.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    std::printf("Table III: simulated systems\n\n");
+    TextTable table({"system", "clock (ns)", "hw vl", "L2 in vector "
+                     "mode", "notes"});
+    for (const auto& cfg : bench::fig6Systems()) {
+        System sys(cfg);
+        std::string notes;
+        switch (cfg.kind) {
+          case SystemKind::IO:
+            notes = "single-issue in-order RV-style core";
+            break;
+          case SystemKind::O3:
+            notes = "8-wide out-of-order core, 192 ROB";
+            break;
+          case SystemKind::O3IV:
+            notes = "integrated unit, OoO issue, 3 shared pipes";
+            break;
+          case SystemKind::O3DV:
+            notes = "decoupled engine, in-order issue, 4 pipes, "
+                    "16 lanes";
+            break;
+          case SystemKind::O3EVE:
+            notes = "EVE-" + std::to_string(cfg.eve_pf) +
+                    ": " + std::to_string(32 / cfg.eve_pf) +
+                    " segments/element, 32 sub-arrays, 8 DTUs";
+            break;
+        }
+        const double clock_ns =
+            cfg.kind == SystemKind::O3EVE
+                ? CircuitModel::cycleTimeNs(cfg.eve_pf)
+                : CircuitModel::baselineCycleNs();
+        table.addRow({systemName(cfg), TextTable::num(clock_ns, 3),
+                      std::to_string(sys.hwVectorLength()),
+                      cfg.kind == SystemKind::O3EVE ? "yes (4-way, "
+                                                      "256KB)"
+                                                    : "no",
+                      notes});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Shared memory system: L1I 32KB/4w 1-cycle, L1D "
+                "32KB/4w 2-cycle (16 MSHRs),\nL2 512KB/8w/8-bank "
+                "8-cycle (32 MSHRs), LLC 2MB/16w 12-cycle (32 MSHRs),"
+                "\nsingle-channel DDR4-2400 (60 ns, 19.2 GB/s)\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table IV: benchmark characterization — dynamic instruction counts,
+ * vector instruction fraction, the per-class mix of vector
+ * instructions at VL=64 (as the paper reports), logical parallelism,
+ * work inflation, arithmetic intensity, and speed-ups of O3+DV and
+ * every EVE design over O3+IV.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "isa/program.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const bool small = bench::smallRuns();
+
+    std::printf("Table IV: benchmark characterization "
+                "(vector mix measured at VL=64)\n\n");
+
+    TextTable mix({"name", "suite", "sDIns", "vDIns", "VI%", "ctrl%",
+                   "ialu%", "imul%", "xe%", "us%", "st%", "idx%",
+                   "prd%", "DOp", "VO%", "VPar", "WInf", "ArInt"});
+
+    for (auto& w : makeAllWorkloads(small)) {
+        w->init();
+        CountingSink scalar_count;
+        w->emitScalar(scalar_count);
+
+        Characterizer c;
+        w->emitVector(c, 64);
+
+        auto pct = [&](std::uint64_t n) {
+            return TextTable::num(
+                c.vecInstrs ? 100.0 * double(n) / double(c.vecInstrs)
+                            : 0.0, 0);
+        };
+        mix.addRow({w->name(), w->suite(),
+                    TextTable::num(double(scalar_count.total) / 1e6,
+                                   2) + "M",
+                    TextTable::num(double(c.dynInstrs) / 1e6, 2) + "M",
+                    TextTable::num(c.vecInstrPct(), 0),
+                    pct(c.ctrl), pct(c.ialu), pct(c.imul), pct(c.xe),
+                    pct(c.us), pct(c.st), pct(c.idx),
+                    TextTable::num(
+                        c.vecInstrs ? 100.0 * double(c.predInstrs) /
+                                          double(c.vecInstrs)
+                                    : 0.0, 0),
+                    TextTable::num(double(c.totalOps) / 1e6, 1) + "M",
+                    TextTable::num(c.vecOpPct(), 0),
+                    TextTable::num(c.logicalParallelism(), 1),
+                    TextTable::num(double(c.totalOps) /
+                                   double(scalar_count.total), 2),
+                    TextTable::num(c.arithIntensity(), 2)});
+    }
+    std::printf("%s\n", mix.render().c_str());
+
+    std::printf("Speed-ups vs. O3+IV:\n\n");
+    std::vector<SystemConfig> systems;
+    systems.push_back(bench::makeConfig(SystemKind::O3IV));
+    systems.push_back(bench::makeConfig(SystemKind::O3DV));
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u})
+        systems.push_back(bench::makeConfig(SystemKind::O3EVE, pf));
+
+    std::vector<std::string> headers = {"name"};
+    for (std::size_t i = 1; i < systems.size(); ++i)
+        headers.push_back(systemName(systems[i]));
+    TextTable speed(headers);
+
+    for (const auto* wname :
+         {"vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
+          "backprop", "sw"}) {
+        double iv_seconds = 0.0;
+        std::vector<std::string> row = {wname};
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            auto w = makeWorkload(wname, small);
+            const RunResult r = runWorkload(systems[i], *w);
+            if (r.mismatches)
+                fatal("%s failed functionally on %s", wname,
+                      r.system.c_str());
+            if (i == 0) {
+                iv_seconds = r.seconds;
+                continue;
+            }
+            row.push_back(TextTable::num(iv_seconds / r.seconds, 2));
+        }
+        speed.addRow(row);
+    }
+    std::printf("%s", speed.render().c_str());
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses: workload scale selection
+ * and the standard set of simulated systems.
+ */
+
+#ifndef EVE_BENCH_BENCH_UTIL_HH
+#define EVE_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <vector>
+
+#include "driver/system.hh"
+
+namespace eve::bench
+{
+
+/** Honour EVE_BENCH_SMALL=1 for quick smoke runs. */
+inline bool
+smallRuns()
+{
+    const char* env = std::getenv("EVE_BENCH_SMALL");
+    return env && env[0] == '1';
+}
+
+/** A Table III configuration of the given kind (defaults elsewhere). */
+inline SystemConfig
+makeConfig(SystemKind kind, unsigned pf = 8)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.eve_pf = pf;
+    return cfg;
+}
+
+/** The Figure 6 system list: scalar + vector baselines + EVE sweep. */
+inline std::vector<SystemConfig>
+fig6Systems()
+{
+    std::vector<SystemConfig> systems;
+    systems.push_back(makeConfig(SystemKind::IO));
+    systems.push_back(makeConfig(SystemKind::O3));
+    systems.push_back(makeConfig(SystemKind::O3IV));
+    systems.push_back(makeConfig(SystemKind::O3DV));
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u})
+        systems.push_back(makeConfig(SystemKind::O3EVE, pf));
+    return systems;
+}
+
+/** The EVE-only sweep (Figures 7 and 8). */
+inline std::vector<SystemConfig>
+eveSystems()
+{
+    std::vector<SystemConfig> systems;
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u})
+        systems.push_back(makeConfig(SystemKind::O3EVE, pf));
+    return systems;
+}
+
+} // namespace eve::bench
+
+#endif // EVE_BENCH_BENCH_UTIL_HH

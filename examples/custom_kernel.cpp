@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Authoring a custom vector kernel against the public API, and
+ * looking under the hood of EVE's execution of it.
+ *
+ * The kernel is a fixed-point AXPY: y = (a*x + y) >> 4. The example
+ * shows three layers of the stack:
+ *  1. the retained Program builder + functional VecMachine,
+ *  2. the micro-program the macro-op library generates for each
+ *     instruction on a chosen EVE-n (printed as Table II micro-ops),
+ *  3. bit-accurate execution of those micro-programs on the EVE SRAM
+ *     functional model, cross-checked against the VecMachine.
+ */
+
+#include <cstdio>
+
+#include "core/sram/eve_sram.hh"
+#include "core/uprog/macro_lib.hh"
+#include "isa/functional.hh"
+#include "isa/program.hh"
+
+using namespace eve;
+
+int
+main()
+{
+    constexpr unsigned kVl = 8;
+    constexpr std::int32_t kA = 13;
+
+    // ----- layer 1: the vector program ------------------------------
+    ByteMem mem(4096);
+    for (unsigned i = 0; i < kVl; ++i) {
+        mem.store32(0x100 + i * 4, std::int32_t(i * 3 + 1));   // x
+        mem.store32(0x200 + i * 4, std::int32_t(100 - i));     // y
+    }
+
+    Program prog;
+    prog.setVl(kVl);
+    prog.load(1, 0x100, kVl);             // v1 = x
+    prog.load(2, 0x200, kVl);             // v2 = y
+    prog.vx(Op::VMul, 3, 1, kA, kVl);     // v3 = a * x
+    prog.vv(Op::VAdd, 3, 3, 2, kVl);      // v3 += y
+    prog.vx(Op::VSra, 3, 3, 4, kVl);      // v3 >>= 4
+    prog.store(3, 0x300, kVl);            // y' = v3
+
+    std::printf("program:\n");
+    for (const auto& instr : prog.instructions())
+        std::printf("  %s\n", disassemble(instr).c_str());
+
+    VecMachine machine(mem, kVl);
+    prog.replay(machine);
+
+    std::printf("\nresult:");
+    for (unsigned i = 0; i < kVl; ++i)
+        std::printf(" %d", mem.load32(0x300 + i * 4));
+    std::printf("\n");
+
+    // ----- layer 2: the micro-programs on EVE-8 ----------------------
+    EveSramConfig cfg;
+    cfg.lanes = kVl;
+    cfg.pf = 8;
+    MacroLib lib(cfg);
+
+    const Instr& mul_instr = prog.instructions()[3];
+    const MacroBuild mul_build = lib.build(mul_instr);
+    std::printf("\n%s compiles to %zu micro-ops on EVE-8 "
+                "(first 10):\n", disassemble(mul_instr).c_str(),
+                mul_build.prog.size());
+    for (std::size_t i = 0; i < 10 && i < mul_build.prog.size(); ++i)
+        std::printf("  %2zu: %s\n", i,
+                    uopToString(mul_build.prog[i]).c_str());
+
+    std::printf("\ncompute latencies on EVE-8 (cycles):\n");
+    for (std::size_t i = 3; i < prog.size() - 1; ++i)
+        std::printf("  %-28s %5llu\n",
+                    disassemble(prog.instructions()[i]).c_str(),
+                    (unsigned long long)lib.cycles(
+                        prog.instructions()[i]));
+
+    // ----- layer 3: bit-accurate SRAM execution ----------------------
+    EveSram sram(cfg);
+    for (unsigned lane = 0; lane < kVl; ++lane) {
+        sram.writeElement(lane, 1,
+                          std::uint32_t(mem.load32(0x100 + lane * 4)));
+        sram.writeElement(lane, 2,
+                          std::uint32_t(mem.load32(0x200 + lane * 4)));
+    }
+    for (std::size_t i = 3; i < prog.size() - 1; ++i)
+        sram.run(lib.build(prog.instructions()[i]).prog);
+
+    bool ok = true;
+    for (unsigned lane = 0; lane < kVl; ++lane)
+        ok = ok && std::int32_t(sram.readElement(lane, 3)) ==
+                       machine.elem(3, lane);
+    std::printf("\nbit-accurate EVE SRAM execution matches the "
+                "reference: %s\n", ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Design-space exploration: sweep the EVE parallelization factor on
+ * one workload and report performance, area, clock, and
+ * area-normalized performance — the analysis a designer would run
+ * before committing to a design point.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "analytic/circuits.hh"
+#include "driver/system.hh"
+#include "driver/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+int
+main(int argc, char** argv)
+{
+    const std::string wname = argc > 1 ? argv[1] : "jacobi-2d";
+
+    // The O3 scalar reference.
+    SystemConfig o3_cfg;
+    o3_cfg.kind = SystemKind::O3;
+    auto o3_w = makeWorkload(wname, /*small=*/false);
+    if (!o3_w) {
+        std::fprintf(stderr, "unknown workload '%s'\n", wname.c_str());
+        return 1;
+    }
+    const RunResult o3 = runWorkload(o3_cfg, *o3_w);
+
+    std::printf("EVE design-space exploration on '%s'\n\n",
+                wname.c_str());
+    TextTable table({"design", "hw vl", "clock", "speedup vs O3",
+                     "area vs O3", "perf/area", "busy frac"});
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        SystemConfig cfg;
+        cfg.kind = SystemKind::O3EVE;
+        cfg.eve_pf = pf;
+        auto w = makeWorkload(wname, false);
+        System sys(cfg);
+        const RunResult r = sys.run(*w);
+        const double speedup = o3.seconds / r.seconds;
+        const double area = SystemAreaModel::o3eve(pf);
+        table.addRow(
+            {"EVE-" + std::to_string(pf),
+             std::to_string(sys.hwVectorLength()),
+             TextTable::num(CircuitModel::cycleTimeNs(pf), 3) + "ns",
+             TextTable::num(speedup, 2),
+             TextTable::num(area, 2),
+             TextTable::num(speedup / area, 2),
+             TextTable::num(r.breakdown.busy / r.total_ticks, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

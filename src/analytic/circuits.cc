@@ -1,0 +1,95 @@
+#include "analytic/circuits.hh"
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+double
+CircuitModel::cycleTimeNs(unsigned pf)
+{
+    if (pf <= 8)
+        return baselineCycleNs();
+    if (pf == 16)
+        return 1.175;
+    if (pf == 32)
+        return 1.55;
+    fatal("CircuitModel: unsupported parallelization factor %u", pf);
+}
+
+std::vector<StackArea>
+CircuitModel::stacks(unsigned pf)
+{
+    // Per-stack estimates (percent of a vanilla sub-array) chosen to
+    // sum to the paper's measured totals: 9.0% (EVE-1), 15.6%
+    // (EVE-n, 2..16), 12.6% (EVE-32).
+    if (pf == 1) {
+        return {
+            {"bus logic", 2.5},
+            {"xor/xnor logic", 1.8},
+            {"add logic (1-bit)", 1.0},
+            {"xregister", 2.4},
+            {"mask logic", 1.3},
+        };
+    }
+    if (pf == 32) {
+        return {
+            {"bus logic", 2.5},
+            {"xor/xnor logic", 1.8},
+            {"add logic (32-bit mcc)", 3.2},
+            {"xregister", 2.4},
+            {"constant shifter", 1.4},
+            {"mask logic", 1.3},
+        };
+    }
+    return {
+        {"bus logic", 2.5},
+        {"xor/xnor logic", 1.8},
+        {"add logic (n-bit mcc)", 3.2},
+        {"xregister", 2.4},
+        {"constant shifter", 2.6},
+        {"spare shifter", 1.8},
+        {"mask logic", 1.3},
+    };
+}
+
+double
+CircuitModel::arrayOverheadPct(unsigned pf)
+{
+    double total = 0.0;
+    for (const auto& stack : stacks(pf))
+        total += stack.pct;
+    return total;
+}
+
+double
+CircuitModel::bankedOverheadPct(unsigned pf)
+{
+    return arrayOverheadPct(pf) / 2.0;
+}
+
+double
+CircuitModel::engineOverheadPct(unsigned pf)
+{
+    // Only half the L2's SRAMs are EVE SRAMs, so the circuit
+    // overhead at the L2 level is half the banked figure; the DTUs
+    // (8 x half a sub-array) and the macro-op ROM (one sub-array)
+    // add 5 sub-arrays over the L2's 64: 7.8%.
+    const double circuit = bankedOverheadPct(pf) / 2.0;
+    const double units = 100.0 * 5.0 / 64.0;
+    return circuit + units;
+}
+
+double
+SystemAreaModel::o3eve(unsigned pf)
+{
+    if (pf == 1)
+        return 1.10;
+    if (pf == 32)
+        return 1.11;
+    if (pf >= 2 && pf <= 16)
+        return 1.12;
+    fatal("SystemAreaModel: unsupported parallelization factor %u", pf);
+}
+
+} // namespace eve

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Section VI circuits model: area overhead, cycle time, and
+ * energy of EVE-n SRAMs, and system-level area of every simulated
+ * configuration.
+ *
+ * The paper measures these with OpenRAM-generated 28 nm layouts; we
+ * cannot run a PDK offline, so the model is parameterized by the
+ * paper's measured constants and decomposed into per-stack
+ * contributions (documented estimates that sum to the measured
+ * totals) so that trends across EVE-n and hypothetical stack
+ * ablations remain computable.
+ */
+
+#ifndef EVE_ANALYTIC_CIRCUITS_HH
+#define EVE_ANALYTIC_CIRCUITS_HH
+
+#include <string>
+#include <vector>
+
+namespace eve
+{
+
+/** Per-stack area contribution, percent of a vanilla sub-array. */
+struct StackArea
+{
+    std::string stack;
+    double pct;
+};
+
+/** Area/timing/energy model of EVE circuits. */
+class CircuitModel
+{
+  public:
+    /** Vanilla 28 nm SRAM cycle time (ns) from the OpenRAM baseline. */
+    static double baselineCycleNs() { return 1.025; }
+
+    /**
+     * Cycle time of an EVE-n design (ns): no penalty up to n=8,
+     * +15% at n=16, +51% at n=32 (carry-chain critical path).
+     */
+    static double cycleTimeNs(unsigned pf);
+
+    /** Peripheral stacks present in an EVE-n design. */
+    static std::vector<StackArea> stacks(unsigned pf);
+
+    /**
+     * Array-level area overhead (percent over a vanilla sub-array):
+     * EVE-1 9.0%, EVE-n (2..16) 15.6%, EVE-32 12.6%.
+     */
+    static double arrayOverheadPct(unsigned pf);
+
+    /**
+     * Banked overhead: an EVE SRAM is two banked 256x128 sub-arrays
+     * sharing one peripheral stack, halving the overhead.
+     */
+    static double bankedOverheadPct(unsigned pf);
+
+    /**
+     * Overhead of the measured simplified EVE SRAM (no constant
+     * shifter), from the DRC/LVS-clean 256x128 layout.
+     */
+    static double simplifiedOverheadPct() { return 8.2; }
+
+    /**
+     * L2-level overhead of the whole engine: circuit overhead on the
+     * EVE half of the ways, plus 8 DTUs (half a sub-array each) and
+     * the macro-op ROM (one sub-array) over the L2's 64 sub-arrays.
+     */
+    static double engineOverheadPct(unsigned pf);
+
+    /** Relative energy of a blc vs. a vanilla SRAM read. */
+    static double blcEnergyVsRead() { return 1.20; }
+
+    /** Peak power increase of the SRAM arrays. */
+    static double peakPowerOverheadPct() { return 20.0; }
+};
+
+/** System-level area relative to the bare O3 core (Section VII). */
+class SystemAreaModel
+{
+  public:
+    static double o3() { return 1.0; }
+    static double o3iv() { return 1.10; }
+    static double o3dv() { return 2.00; }
+
+    /** EVE-n system area: 1.10x (n=1), 1.12x (2..16), 1.11x (32). */
+    static double o3eve(unsigned pf);
+};
+
+} // namespace eve
+
+#endif // EVE_ANALYTIC_CIRCUITS_HH

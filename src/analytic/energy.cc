@@ -1,0 +1,69 @@
+#include "analytic/energy.hh"
+
+namespace eve
+{
+
+namespace
+{
+
+double
+cacheEnergyNj(const RunResult& r, const EnergyParams& p)
+{
+    auto level = [&](const char* name, double per_line_pj) {
+        return (r.stat(std::string(name) + ".reads") +
+                r.stat(std::string(name) + ".writes")) *
+               per_line_pj;
+    };
+    return (level("l1i", p.l1_line_pj) + level("l1d", p.l1_line_pj) +
+            level("l2", p.l2_line_pj) + level("llc", p.llc_line_pj)) /
+           1e3;
+}
+
+} // namespace
+
+EnergyReport
+estimateEnergy(const RunResult& result, const SystemConfig& config,
+               const EnergyParams& params)
+{
+    EnergyReport report;
+
+    const double dram_lines =
+        result.stat("dram.reads") + result.stat("dram.writes");
+    report.dram_nj = dram_lines * params.dram_line_pj / 1e3;
+    report.cache_nj = cacheEnergyNj(result, params);
+
+    const double scalar_instrs =
+        double(result.instrs) - double(result.vecInstrs);
+    const double core_pj = config.kind == SystemKind::IO
+                               ? params.io_instr_pj
+                               : params.o3_instr_pj;
+    report.core_nj = scalar_instrs * core_pj / 1e3;
+
+    switch (config.kind) {
+      case SystemKind::IO:
+      case SystemKind::O3:
+        break;
+      case SystemKind::O3IV:
+        report.engine_nj =
+            double(result.vecElemOps) * params.iv_elem_pj / 1e3;
+        break;
+      case SystemKind::O3DV:
+        report.engine_nj =
+            double(result.vecElemOps) * params.dv_elem_pj / 1e3;
+        break;
+      case SystemKind::O3EVE: {
+        // Charge a blended row-op energy (roughly one blc + one
+        // write per two micro-ops plus cheap shifter ops) per
+        // micro-op per *active* sub-array (VCU clock gating).
+        const double array_uops = result.stat("eve.vsu_array_uops");
+        const double blended_pj =
+            0.4 * params.blc_pj + 0.4 * params.sram_write_pj +
+            0.2 * params.uop_other_pj;
+        report.engine_nj = array_uops * blended_pj / 1e3;
+        break;
+      }
+    }
+    return report;
+}
+
+} // namespace eve

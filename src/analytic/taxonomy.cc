@@ -1,0 +1,86 @@
+#include "analytic/taxonomy.hh"
+
+#include "analytic/circuits.hh"
+#include "core/uprog/macro_lib.hh"
+
+namespace eve
+{
+
+TaxonomyPoint
+taxonomyPoint(const TaxonomyParams& params, unsigned pf)
+{
+    LayoutParams lp;
+    lp.rows = params.rows;
+    lp.cols = params.cols;
+    lp.num_vregs = params.num_vregs;
+    lp.elem_bits = params.elem_bits;
+    lp.pf = pf;
+    Layout layout(lp);
+
+    EveSramConfig cfg;
+    cfg.lanes = 1;  // geometry irrelevant for program length
+    cfg.pf = pf;
+    cfg.elem_bits = params.elem_bits;
+    cfg.num_vregs = params.num_vregs;
+    cfg.scratch_regs = 16;
+    MacroLib lib(cfg);
+
+    Instr add;
+    add.op = Op::VAdd;
+    add.dst = 1;
+    add.src1 = 2;
+    add.src2 = 3;
+    Instr mul = add;
+    mul.op = Op::VMul;
+
+    TaxonomyPoint point;
+    point.pf = pf;
+    point.alus = layout.lanesPerArray();
+    point.addLatency = lib.cycles(add);
+    point.mulLatency = lib.cycles(mul);
+    point.columnUtilization = layout.columnUtilization();
+    point.storageUtilization = layout.storageUtilization();
+
+    double cycle_scale = 1.0;
+    if (params.scale_cycle_time)
+        cycle_scale = CircuitModel::baselineCycleNs() /
+                      CircuitModel::cycleTimeNs(pf);
+
+    point.addThroughput = cycle_scale * double(point.alus) /
+                          double(point.addLatency);
+    point.mulThroughput = cycle_scale * double(point.alus) /
+                          double(point.mulLatency);
+    return point;
+}
+
+std::vector<TaxonomyPoint>
+taxonomySweep(const TaxonomyParams& params)
+{
+    std::vector<TaxonomyPoint> sweep;
+    for (unsigned pf = 1; pf <= params.elem_bits; pf *= 2)
+        sweep.push_back(taxonomyPoint(params, pf));
+    return sweep;
+}
+
+Fig1Point
+fig1Point(unsigned rows, unsigned cols, unsigned elem_bits,
+          unsigned num_vregs, unsigned pf)
+{
+    LayoutParams lp;
+    lp.rows = rows;
+    lp.cols = cols;
+    lp.num_vregs = num_vregs;
+    lp.elem_bits = elem_bits;
+    lp.pf = pf;
+    Layout layout(lp);
+
+    Fig1Point point;
+    point.num_vregs = num_vregs;
+    point.pf = pf;
+    point.elements = layout.lanesPerArray();
+    point.alus = layout.lanesPerArray();
+    point.storageUtilization = layout.storageUtilization();
+    return point;
+}
+
+} // namespace eve

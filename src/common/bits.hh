@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the SRAM model and the layout code.
+ */
+
+#ifndef EVE_COMMON_BITS_HH
+#define EVE_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+/** Extract bit @p pos (0 = LSB) from @p value. */
+constexpr bool
+bit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1;
+}
+
+/** Extract bits [lo, lo+width) from @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned width)
+{
+    if (width >= 64)
+        return value >> lo;
+    return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** Return @p value with bit @p pos set to @p b. */
+constexpr std::uint64_t
+insertBit(std::uint64_t value, unsigned pos, bool b)
+{
+    std::uint64_t mask = std::uint64_t{1} << pos;
+    return b ? (value | mask) : (value & ~mask);
+}
+
+/** True iff @p v is a power of two (zero is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+/** Divide rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace eve
+
+#endif // EVE_COMMON_BITS_HH

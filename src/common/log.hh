@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Logging and error reporting in the gem5 idiom.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in
+ *            this code base); aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with 1.
+ * warn()   — something is modelled approximately; simulation goes on.
+ * inform() — status messages with no connotation of incorrectness.
+ */
+
+#ifndef EVE_COMMON_LOG_HH
+#define EVE_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace eve
+{
+
+/** Abort with a formatted message; use for simulator bugs. */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user errors. */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about approximate or suspicious behaviour. */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** Format helper used by the logging functions; exposed for tests. */
+std::string vformat(const char* fmt, va_list ap);
+
+} // namespace eve
+
+#endif // EVE_COMMON_LOG_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Workload generators and property tests need reproducible randomness
+ * that does not depend on the standard library's unspecified
+ * distributions; this generator is seeded explicitly everywhere.
+ */
+
+#ifndef EVE_COMMON_RNG_HH
+#define EVE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace eve
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the full state.
+        std::uint64_t x = seed;
+        for (auto& word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform signed 32-bit value. */
+    std::int32_t i32() { return static_cast<std::int32_t>(next()); }
+
+    /** Uniform value in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    std::uint64_t state[4] = {};
+};
+
+} // namespace eve
+
+#endif // EVE_COMMON_RNG_HH

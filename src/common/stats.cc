@@ -1,0 +1,39 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace eve
+{
+
+double
+StatGroup::get(const std::string& stat) const
+{
+    auto it = values.find(stat);
+    return it == values.end() ? 0.0 : it->second;
+}
+
+bool
+StatGroup::has(const std::string& stat) const
+{
+    return values.find(stat) != values.end();
+}
+
+std::vector<std::pair<std::string, double>>
+StatGroup::sorted() const
+{
+    return {values.begin(), values.end()};
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto& [stat, value] : values) {
+        if (!groupName.empty())
+            os << groupName << '.';
+        os << stat << " = " << value << '\n';
+    }
+    return os.str();
+}
+
+} // namespace eve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small statistics registry.
+ *
+ * Components own a StatGroup and register named scalar counters in it.
+ * The registry supports hierarchical dumping (component.stat = value)
+ * and is what the bench harnesses read to build the paper's tables.
+ */
+
+#ifndef EVE_COMMON_STATS_HH
+#define EVE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eve
+{
+
+/** A named group of scalar statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : groupName(std::move(name)) {}
+
+    /** Add @p delta to the named counter (creating it at zero). */
+    void
+    add(const std::string& stat, double delta)
+    {
+        values[stat] += delta;
+    }
+
+    /** Set the named counter to @p value. */
+    void
+    set(const std::string& stat, double value)
+    {
+        values[stat] = value;
+    }
+
+    /** Read a counter; returns 0 for counters never touched. */
+    double get(const std::string& stat) const;
+
+    /** True iff the counter has been touched. */
+    bool has(const std::string& stat) const;
+
+    /** Reset every counter to zero. */
+    void clear() { values.clear(); }
+
+    /** Name given at construction. */
+    const std::string& name() const { return groupName; }
+
+    /** All (stat, value) pairs sorted by name. */
+    std::vector<std::pair<std::string, double>> sorted() const;
+
+    /** Render as "group.stat = value" lines. */
+    std::string dump() const;
+
+  private:
+    std::string groupName;
+    std::map<std::string, double> values;
+};
+
+} // namespace eve
+
+#endif // EVE_COMMON_STATS_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * The simulator keeps two notions of time: *cycles* in a component's
+ * own clock domain, and *ticks* in a global picosecond-resolution
+ * timebase used when components in different clock domains (e.g. an
+ * EVE-16 engine running at a degraded cycle time next to a 1.025 ns
+ * core) must exchange timestamps.
+ */
+
+#ifndef EVE_COMMON_TYPES_HH
+#define EVE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace eve
+{
+
+/** Byte address in a workload's flat address space. */
+using Addr = std::uint64_t;
+
+/** Global time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Time expressed in a component's own clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Number of picoseconds in one nanosecond. */
+constexpr Tick ticksPerNs = 1000;
+
+/**
+ * A clock domain converting between cycles and ticks.
+ *
+ * Components capture a ClockDomain by value; it is a pure conversion
+ * helper, not a scheduler.
+ */
+class ClockDomain
+{
+  public:
+    /** Construct a domain with the given cycle time in nanoseconds. */
+    explicit constexpr ClockDomain(double period_ns = 1.0)
+        : periodTicks(static_cast<Tick>(period_ns * ticksPerNs))
+    {}
+
+    /** Cycle period in ticks (picoseconds). */
+    constexpr Tick period() const { return periodTicks; }
+
+    /** Cycle period in nanoseconds. */
+    constexpr double periodNs() const
+    {
+        return static_cast<double>(periodTicks) / ticksPerNs;
+    }
+
+    /** Convert a cycle count to ticks. */
+    constexpr Tick toTicks(Cycles c) const { return c * periodTicks; }
+
+    /** Convert ticks to whole cycles, rounding up. */
+    constexpr Cycles
+    toCycles(Tick t) const
+    {
+        return (t + periodTicks - 1) / periodTicks;
+    }
+
+  private:
+    Tick periodTicks;
+};
+
+} // namespace eve
+
+#endif // EVE_COMMON_TYPES_HH

@@ -1,0 +1,433 @@
+#include <algorithm>
+
+#include "core/engine/eve_engine.hh"
+
+#include "analytic/circuits.hh"
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "vector/request_gen.hh"
+
+namespace eve
+{
+
+namespace
+{
+
+O3CoreParams
+coreAtEveClock(O3CoreParams base, unsigned pf)
+{
+    base.clock_ns = CircuitModel::cycleTimeNs(pf);
+    return base;
+}
+
+LayoutParams
+layoutFor(unsigned pf)
+{
+    LayoutParams lp;
+    lp.rows = 256;
+    lp.cols = 256;
+    lp.num_vregs = 32;
+    lp.elem_bits = 32;
+    lp.pf = pf;
+    return lp;
+}
+
+EveSramConfig
+sramConfigFor(unsigned pf)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 1;  // program lengths are lane-independent
+    cfg.pf = pf;
+    return cfg;
+}
+
+} // namespace
+
+EveSystem::EveSystem(const EveParams& params, MemHierarchy& mem)
+    : params(params),
+      mem(mem),
+      core(coreAtEveClock(params.core, params.pf), mem),
+      clock(CircuitModel::cycleTimeNs(params.pf)),
+      dataLayout(layoutFor(params.pf)),
+      macroLib(sramConfigFor(params.pf)),
+      segs(32 / params.pf),
+      hwVl(dataLayout.hwVectorLength(params.arrays)),
+      dtuUnits(params.dtus),
+      vmuQueue(params.vmu_queue),
+      vmuCredits(params.vmu_line_credits),
+      statGroup("eve")
+{
+    vsuFree = params.spawn_ready;
+    if (params.pf == 32)
+        this->params.dtu_line_cycles = 1;  // no transpose needed
+}
+
+Tick
+EveSystem::srcReady(const Instr& instr) const
+{
+    Tick ready = vregReady[instr.src1];
+    if (!instr.usesScalar &&
+        opClass(instr.op) != OpClass::VecMemUnit &&
+        opClass(instr.op) != OpClass::VecMemStride)
+        ready = std::max(ready, vregReady[instr.src2]);
+    if (instr.masked || instr.op == Op::VMerge)
+        ready = std::max(ready, vregReady[0]);
+    return ready;
+}
+
+void
+EveSystem::attributeGap(Tick from, Tick start, Tick commit,
+                        const Instr& instr)
+{
+    if (start <= from)
+        return;
+    Tick t = from;
+    // 1. No instruction available yet: empty.
+    const Tick empty_until = std::min(start, std::max(commit, t));
+    if (empty_until > t) {
+        bdown.empty_stall += double(empty_until - t);
+        t = empty_until;
+    }
+    if (t >= start)
+        return;
+    // 2. Waiting on an operand: split by what produced it.
+    // Find the binding source register.
+    Tick best = 0;
+    const Producer* prod = nullptr;
+    auto consider = [&](unsigned reg) {
+        if (vregReady[reg] > best) {
+            best = vregReady[reg];
+            prod = &producer[reg];
+        }
+    };
+    consider(instr.src1);
+    if (!instr.usesScalar)
+        consider(instr.src2);
+    if (instr.masked || instr.op == Op::VMerge)
+        consider(0);
+
+    if (!prod || best <= t) {
+        bdown.dep_stall += double(start - t);
+        return;
+    }
+    switch (prod->kind) {
+      case Producer::Kind::Load: {
+        const Tick mem_until =
+            std::min(start, std::max(prod->memDone, t));
+        if (mem_until > t) {
+            bdown.ld_mem_stall += double(mem_until - t);
+            t = mem_until;
+        }
+        if (start > t)
+            bdown.ld_dt_stall += double(start - t);
+        break;
+      }
+      case Producer::Kind::Vru:
+        bdown.vru_stall += double(start - t);
+        break;
+      default:
+        bdown.dep_stall += double(start - t);
+        break;
+    }
+}
+
+void
+EveSystem::consume(const Instr& instr)
+{
+    if (isVectorOp(instr.op))
+        consumeVector(instr);
+    else
+        core.consume(instr);
+}
+
+void
+EveSystem::consumeVector(const Instr& instr)
+{
+    if (instr.vl > hwVl && opClass(instr.op) != OpClass::VecCtrl)
+        panic("EveSystem: vl %u exceeds hardware vl %u (pf %u)",
+              instr.vl, hwVl, params.pf);
+
+    statGroup.add("vector_instrs", 1);
+    Tick commit = core.dispatchVector(instr);
+    commit = std::max(commit, params.spawn_ready);
+
+    switch (opClass(instr.op)) {
+      case OpClass::VecCtrl: {
+        if (instr.op == Op::VSetVl) {
+            const Tick start = std::max(vsuFree, commit);
+            attributeGap(vsuFree, start, commit, instr);
+            vsuFree = start + clock.period();
+            bdown.busy += double(clock.period());
+        } else if (instr.op == Op::VMfence) {
+            const Tick done = std::max({vsuFree, memLast, commit});
+            core.stallCommit(done);
+            engineLast = std::max(engineLast, done);
+        } else {  // VMvXS
+            const Tick start =
+                std::max({vsuFree, commit, vregReady[instr.src1]});
+            attributeGap(vsuFree, start, commit, instr);
+            const Tick done = start + clock.toTicks(segs + 2);
+            bdown.busy += double(done - start);
+            vsuFree = done;
+            core.stallCommit(done);
+            engineLast = std::max(engineLast, done);
+        }
+        return;
+      }
+
+      case OpClass::VecAlu:
+      case OpClass::VecMul:
+        execCompute(instr, commit);
+        return;
+
+      case OpClass::VecXe:
+        if (instr.op == Op::VMvVX || instr.op == Op::VId) {
+            execCompute(instr, commit);
+        } else {
+            execVru(instr, commit);
+        }
+        return;
+
+      case OpClass::VecRed:
+        execVru(instr, commit);
+        return;
+
+      case OpClass::VecMemUnit:
+      case OpClass::VecMemStride:
+      case OpClass::VecMemIndex:
+        if (isVecLoad(instr.op))
+            execLoad(instr, commit);
+        else
+            execStore(instr, commit);
+        return;
+
+      default:
+        panic("EveSystem: unexpected vector class");
+    }
+}
+
+void
+EveSystem::execCompute(const Instr& instr, Tick commit)
+{
+    const Tick start = std::max({vsuFree, commit, srcReady(instr)});
+    attributeGap(vsuFree, start, commit, instr);
+    const Cycles cycles = macroLib.cycles(instr);
+    const Tick done = start + clock.toTicks(cycles);
+    bdown.busy += double(done - start);
+    vsuFree = done;
+    vregReady[instr.dst] = done;
+    producer[instr.dst] = Producer{Producer::Kind::Compute, 0, 0};
+    engineLast = std::max(engineLast, done);
+    statGroup.add("vsu_uops", double(cycles));
+    // Only the sub-arrays holding active elements burn row-operation
+    // energy (clock gating by the VCU).
+    const unsigned active_arrays = unsigned(divCeil(
+        std::max<std::uint32_t>(instr.vl, 1),
+        dataLayout.lanesPerArray()));
+    statGroup.add("vsu_array_uops",
+                  double(cycles) *
+                      std::min(active_arrays, params.arrays));
+}
+
+void
+EveSystem::execLoad(const Instr& instr, Tick commit)
+{
+    // Indexed loads first stream the index register to the VMU.
+    Tick mem_start = std::max(commit, vmuGenFree);
+    if (opClass(instr.op) == OpClass::VecMemIndex) {
+        const Tick idx_start =
+            std::max({vsuFree, commit, vregReady[instr.src2]});
+        attributeGap(vsuFree, idx_start, commit, instr);
+        const Tick idx_done = idx_start + clock.toTicks(segs);
+        bdown.busy += double(idx_done - idx_start);
+        vsuFree = idx_done;
+        mem_start = std::max(mem_start, idx_done);
+    }
+
+    const auto lines =
+        planRequests(instr, mem.llc().params().line_bytes);
+    statGroup.add("vmu_lines", double(lines.size()));
+
+    Tick gen = mem_start;
+    Tick mem_done = mem_start;
+    Tick dt_done = mem_start;
+    for (const Addr line : lines) {
+        // One request generated + translated per cycle, with
+        // back-pressure from the outstanding-line credit pool (the
+        // LLC's MSHR occupancy propagates into the grant times).
+        const Tick want = gen + clock.period();
+        Tick line_done = 0;
+        const Tick grant = vmuCredits.acquire(want, [&](Tick g) {
+            line_done = mem.llc().access(line, false, g);
+            return line_done;
+        });
+        statGroup.add("vmu_cache_stall_ticks", double(grant - want));
+        statGroup.add("vmu_issue_ticks", double(clock.period()));
+        gen = grant;
+        mem_done = std::max(mem_done, line_done);
+        const Tick dt_busy = clock.toTicks(params.dtu_line_cycles);
+        const Tick dt_start = dtuUnits.acquire(line_done, dt_busy);
+        dt_done = std::max(dt_done, dt_start + dt_busy);
+    }
+    vmuGenFree = gen;
+    memLast = std::max(memLast, mem_done);
+
+    // The VSU writes the transposed rows into the arrays once the
+    // data is out of the DTUs. The in-order VSU has nothing else to
+    // run meanwhile, so its wait is charged here: up to the last
+    // line's arrival it is a load-memory stall, and from there to
+    // the end of transposing it is a load-transpose stall.
+    const Tick fill_start = std::max(vsuFree, dt_done);
+    {
+        Tick t = vsuFree;
+        const Tick empty_until =
+            std::min(fill_start, std::max(commit, t));
+        if (empty_until > t) {
+            bdown.empty_stall += double(empty_until - t);
+            t = empty_until;
+        }
+        const Tick mem_until =
+            std::min(fill_start, std::max(mem_done, t));
+        if (mem_until > t) {
+            bdown.ld_mem_stall += double(mem_until - t);
+            t = mem_until;
+        }
+        if (fill_start > t)
+            bdown.ld_dt_stall += double(fill_start - t);
+    }
+    const Tick fill_done = fill_start + clock.toTicks(segs);
+    bdown.busy += double(fill_done - fill_start);
+    vsuFree = std::max(vsuFree, fill_done);
+
+    vregReady[instr.dst] = fill_done;
+    producer[instr.dst] =
+        Producer{Producer::Kind::Load, mem_done, dt_done};
+    engineLast = std::max(engineLast, fill_done);
+}
+
+void
+EveSystem::execStore(const Instr& instr, Tick commit)
+{
+    // The VSU reads the source rows and hands them to a free store
+    // slot in the VMU; a full queue stalls the VSU.
+    const Tick ready =
+        std::max({vsuFree, commit, vregReady[instr.src1],
+                  instr.masked ? vregReady[0] : Tick{0}});
+    attributeGap(vsuFree, ready, commit, instr);
+
+    Tick store_done = 0;
+    const auto lines =
+        planRequests(instr, mem.llc().params().line_bytes);
+    const Tick grant = vmuQueue.acquire(ready, [&](Tick g) {
+        const Tick read_done = g + clock.toTicks(segs);
+        Tick gen = std::max(read_done, vmuGenFree);
+        Tick dt_ready = read_done;
+        for (const Addr line : lines) {
+            // De-transpose, then generate the write with the same
+            // credit back-pressure as loads.
+            const Tick dt_busy = clock.toTicks(params.dtu_line_cycles);
+            const Tick dt_start = dtuUnits.acquire(dt_ready, dt_busy);
+            const Tick dt_out = dt_start + dt_busy;
+            bdown.st_dt_stall += double(dt_start - dt_ready) /
+                                 std::max<std::size_t>(lines.size(), 1);
+            const Tick want = std::max(gen + clock.period(), dt_out);
+            Tick line_done = 0;
+            const Tick w_grant = vmuCredits.acquire(want, [&](Tick t) {
+                line_done = mem.llc().access(line, true, t);
+                return line_done;
+            });
+            statGroup.add("vmu_cache_stall_ticks",
+                          double(w_grant - want));
+            statGroup.add("vmu_issue_ticks", double(clock.period()));
+            gen = w_grant;
+            store_done = std::max(store_done, line_done);
+        }
+        vmuGenFree = gen;
+        return store_done;
+    });
+    if (grant > ready)
+        bdown.vmu_stall += double(grant - ready);
+    statGroup.add("vmu_lines", double(lines.size()));
+
+    const Tick read_done = grant + clock.toTicks(segs);
+    bdown.busy += double(read_done - grant);
+    vsuFree = read_done;
+    memLast = std::max(memLast, store_done);
+    engineLast = std::max(engineLast, read_done);
+}
+
+void
+EveSystem::execVru(const Instr& instr, Tick commit)
+{
+    // The VSU streams E = B/n elements per beat into the VRU; the
+    // VRU then runs its dot + linear phases. Cross-element producers
+    // (slides, gathers) also stream the result back.
+    const Tick ready = std::max({vsuFree, commit, srcReady(instr)});
+    Tick start = ready;
+    if (vruFree > start) {
+        bdown.vru_stall += double(vruFree - start);
+        start = vruFree;
+    }
+    attributeGap(vsuFree, ready, commit, instr);
+
+    const unsigned eports =
+        std::max(1u, params.vru_bandwidth_bits / 32);
+    const Cycles stream = divCeil(instr.vl, eports) + segs;
+    const Cycles reduce_lat = eports + log2i(eports) + 8;
+
+    const bool writes_back = opClass(instr.op) == OpClass::VecXe;
+    const Cycles vsu_cycles = writes_back ? 2 * stream : stream;
+    const Tick vsu_done = start + clock.toTicks(vsu_cycles);
+    const Tick done = vsu_done + clock.toTicks(reduce_lat);
+
+    bdown.busy += double(vsu_done - start);
+    vsuFree = vsu_done;
+    vruFree = done;
+    vregReady[instr.dst] = done;
+    producer[instr.dst] = Producer{Producer::Kind::Vru, 0, 0};
+    engineLast = std::max(engineLast, done);
+    statGroup.add("vru_ops", 1);
+}
+
+void
+EveSystem::finish()
+{
+    core.finish();
+    const Tick end = finalTick();
+    // The drain tail — the engine waiting for its last stores to be
+    // accepted by the memory system — is a store-memory stall.
+    if (end > vsuFree && memLast > vsuFree)
+        bdown.st_mem_stall += double(std::min(end, memLast) - vsuFree);
+    statGroup.set("cycles", double(end) / clock.period());
+    statGroup.set("busy_ticks", bdown.busy);
+    statGroup.set("empty_stall_ticks", bdown.empty_stall);
+    statGroup.set("dep_stall_ticks", bdown.dep_stall);
+    statGroup.set("ld_mem_stall_ticks", bdown.ld_mem_stall);
+    statGroup.set("ld_dt_stall_ticks", bdown.ld_dt_stall);
+    statGroup.set("st_mem_stall_ticks", bdown.st_mem_stall);
+    statGroup.set("st_dt_stall_ticks", bdown.st_dt_stall);
+    statGroup.set("vmu_stall_ticks", bdown.vmu_stall);
+    statGroup.set("vru_stall_ticks", bdown.vru_stall);
+}
+
+Tick
+EveSystem::finalTick() const
+{
+    return std::max({core.finalTick(), engineLast, memLast});
+}
+
+double
+EveSystem::vmuCacheStallTicks() const
+{
+    return statGroup.get("vmu_cache_stall_ticks");
+}
+
+double
+EveSystem::vmuCacheStallFraction() const
+{
+    const double stall = statGroup.get("vmu_cache_stall_ticks");
+    const double issue = statGroup.get("vmu_issue_ticks");
+    return (stall + issue) > 0 ? stall / (stall + issue) : 0.0;
+}
+
+} // namespace eve

@@ -1,0 +1,45 @@
+#include "core/engine/reconfig.hh"
+
+#include "common/bits.hh"
+
+namespace eve
+{
+
+SpawnCost
+spawnEve(Cache& l2, Cache& llc, Tick now)
+{
+    const unsigned assoc = l2.params().assoc;
+    const unsigned half = assoc / 2;
+    const ClockDomain clock(l2.params().clock_ns);
+
+    const InvalidateResult inv = l2.invalidateWays(half, assoc);
+    l2.setActiveWays(half);
+
+    SpawnCost cost;
+    cost.valid_lines = inv.valid_lines;
+    cost.dirty_lines = inv.dirty_lines;
+
+    // The FSM visits each line in the reconfigured ways in constant
+    // time (the paper's "each cache line should incur a constant
+    // number of cycles to invalidate"); dirty lines additionally
+    // drain to the LLC at its banked write bandwidth.
+    const std::uint64_t sets = l2.numSets();
+    const std::uint64_t visited = sets * (assoc - half);
+    const unsigned llc_banks = llc.params().banks;
+    const std::uint64_t drain = divCeil(inv.dirty_lines, llc_banks) +
+                                (inv.dirty_lines ? llc.params().hit_latency
+                                                 : 0);
+    cost.cycles = visited + drain;
+    cost.ready_tick = now + clock.toTicks(cost.cycles);
+    return cost;
+}
+
+void
+teardownEve(Cache& l2)
+{
+    // Returned ways are already invalid; restoring associativity is
+    // free (Section V-E).
+    l2.setActiveWays(l2.params().assoc);
+}
+
+} // namespace eve

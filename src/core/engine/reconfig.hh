@@ -1,0 +1,41 @@
+/**
+ * @file
+ * L2 way-partition reconfiguration (Section V-E): spawning an EVE
+ * engine carves out half the private L2's ways, invalidating the
+ * lines living there (a simple FSM walks the ways, one line per
+ * cycle; dirty lines write back to the LLC). Tearing the engine down
+ * is free — associativity is restored with the returned ways invalid.
+ */
+
+#ifndef EVE_CORE_ENGINE_RECONFIG_HH
+#define EVE_CORE_ENGINE_RECONFIG_HH
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace eve
+{
+
+/** Result of spawning EVE out of a private L2. */
+struct SpawnCost
+{
+    std::uint64_t valid_lines = 0;
+    std::uint64_t dirty_lines = 0;
+    Cycles cycles = 0;      ///< FSM walk + writeback drain
+    Tick ready_tick = 0;    ///< tick the engine becomes usable
+};
+
+/**
+ * Spawn EVE: invalidate the upper half of @p l2's ways (writing dirty
+ * lines back through @p llc), then halve the live associativity.
+ *
+ * @param now  tick the spawn request is made
+ */
+SpawnCost spawnEve(Cache& l2, Cache& llc, Tick now);
+
+/** Tear EVE down: restore full associativity (returned ways invalid). */
+void teardownEve(Cache& l2);
+
+} // namespace eve
+
+#endif // EVE_CORE_ENGINE_RECONFIG_HH

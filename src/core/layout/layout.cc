@@ -1,0 +1,54 @@
+#include "core/layout/layout.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace eve
+{
+
+Layout::Layout(const LayoutParams& params) : layoutParams(params)
+{
+    const unsigned n = params.pf;
+    if (n == 0 || params.elem_bits % n != 0)
+        fatal("layout: parallelization factor %u must divide element "
+              "width %u", n, params.elem_bits);
+    if (params.cols % n != 0)
+        fatal("layout: %u columns not divisible by pf %u",
+              params.cols, n);
+
+    segs = params.elem_bits / n;
+
+    // Register storage one lane needs, in bits.
+    const std::uint64_t lane_bits =
+        std::uint64_t(params.num_vregs) * params.elem_bits;
+    // Column groups needed to hold that storage at n columns per
+    // group and `rows` bits per column.
+    const std::uint64_t groups = divCeil(
+        lane_bits, std::uint64_t(params.rows) * n);
+    laneWidth = n * unsigned(groups);
+
+    lanes = laneWidth <= params.cols ? params.cols / laneWidth : 0;
+    if (lanes == 0)
+        fatal("layout: lane of %u columns does not fit %u-column array",
+              laneWidth, params.cols);
+}
+
+double
+Layout::columnUtilization() const
+{
+    // Columns actively computing: n per lane out of laneCols per lane
+    // (the folded groups hold registers but do not add ALU width),
+    // and any columns beyond lanes*laneCols are entirely idle.
+    const double active = double(lanes) * layoutParams.pf;
+    return active / double(layoutParams.cols);
+}
+
+double
+Layout::storageUtilization() const
+{
+    const double used = double(lanes) * layoutParams.num_vregs *
+                        layoutParams.elem_bits;
+    return used / (double(layoutParams.rows) * layoutParams.cols);
+}
+
+} // namespace eve

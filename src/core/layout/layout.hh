@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Transposed vector-register data layout for S-CIM execution
+ * (Section II and Figure 1 of the paper).
+ *
+ * An element of width E bits under parallelization factor n is broken
+ * into S = E/n segments of n bits. Each segment occupies one row
+ * across the n columns of its lane; the S segments of an element (and
+ * the corresponding segments of every vector register) stack
+ * vertically. A *lane* is the column group holding one element of
+ * every architectural vector register, and one in-situ ALU serves one
+ * lane.
+ *
+ * When the register file of one lane does not fit in the array height
+ * (n < 4 with 32 registers of 32 bits in 256 rows), the lane widens
+ * to multiple n-column groups, reducing the number of lanes — the
+ * paper's "column under-utilization". When n is large, the lane count
+ * is bounded by cols/n instead — "row under-utilization". The lane
+ * law is
+ *
+ *     lane_cols(n) = n * max(1, ceil(V*E / (rows*n)))
+ *     lanes(n)     = cols / lane_cols(n)
+ *
+ * which reproduces the paper's hardware vector lengths exactly
+ * (EVE-{1,2,4} = 2048, EVE-8 = 1024, EVE-16 = 512, EVE-32 = 256 for
+ * 32 sub-arrays of 256x256).
+ */
+
+#ifndef EVE_CORE_LAYOUT_LAYOUT_HH
+#define EVE_CORE_LAYOUT_LAYOUT_HH
+
+#include <cstdint>
+
+namespace eve
+{
+
+/** Geometry of an S-CIM register-file layout. */
+struct LayoutParams
+{
+    unsigned rows = 256;       ///< bit rows per (logical) sub-array
+    unsigned cols = 256;       ///< bit columns per (logical) sub-array
+    unsigned num_vregs = 32;   ///< architectural vector registers
+    unsigned elem_bits = 32;   ///< element precision
+    unsigned pf = 8;           ///< parallelization factor n
+};
+
+/** Derived layout quantities. */
+class Layout
+{
+  public:
+    explicit Layout(const LayoutParams& params);
+
+    const LayoutParams& params() const { return layoutParams; }
+
+    /** Segments per element: elem_bits / pf. */
+    unsigned segments() const { return segs; }
+
+    /** Columns one lane occupies. */
+    unsigned laneCols() const { return laneWidth; }
+
+    /** Column groups per lane (folding factor for n < balanced). */
+    unsigned groupsPerLane() const { return laneWidth / layoutParams.pf; }
+
+    /** Lanes (in-situ ALUs) per sub-array. */
+    unsigned lanesPerArray() const { return lanes; }
+
+    /** Hardware vector length for @p num_arrays sub-arrays. */
+    unsigned hwVectorLength(unsigned num_arrays) const
+    {
+        return lanes * num_arrays;
+    }
+
+    /** Fraction of columns participating in compute. */
+    double columnUtilization() const;
+
+    /** Fraction of bit cells used for register storage. */
+    double storageUtilization() const;
+
+    /**
+     * Row of register @p vreg, segment @p seg in the *virtual* lane
+     * column (see DESIGN.md approximation A1: the functional model
+     * treats the lane as one column group of V*S virtual rows).
+     */
+    unsigned
+    virtualRow(unsigned vreg, unsigned seg) const
+    {
+        return vreg * segs + seg;
+    }
+
+    /** Virtual rows per lane (register file height). */
+    unsigned virtualRows() const { return layoutParams.num_vregs * segs; }
+
+  private:
+    LayoutParams layoutParams;
+    unsigned segs;
+    unsigned laneWidth;
+    unsigned lanes;
+};
+
+} // namespace eve
+
+#endif // EVE_CORE_LAYOUT_LAYOUT_HH

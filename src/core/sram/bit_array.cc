@@ -1,0 +1,91 @@
+#include "core/sram/bit_array.hh"
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+BitArray::BitArray(unsigned rows, unsigned cols)
+    : numRows(rows),
+      numCols(cols),
+      rowWords((cols + 63) / 64),
+      cells(rows, RowBits(rowWords, 0))
+{
+    if (rows == 0 || cols == 0)
+        fatal("BitArray: degenerate geometry %ux%u", rows, cols);
+}
+
+void
+BitArray::checkRow(unsigned row) const
+{
+    if (row >= numRows)
+        panic("BitArray: row %u out of %u", row, numRows);
+}
+
+bool
+BitArray::get(unsigned row, unsigned col) const
+{
+    checkRow(row);
+    if (col >= numCols)
+        panic("BitArray: col %u out of %u", col, numCols);
+    return (cells[row][col / 64] >> (col % 64)) & 1;
+}
+
+void
+BitArray::set(unsigned row, unsigned col, bool value)
+{
+    checkRow(row);
+    if (col >= numCols)
+        panic("BitArray: col %u out of %u", col, numCols);
+    std::uint64_t& word = cells[row][col / 64];
+    const std::uint64_t mask = std::uint64_t{1} << (col % 64);
+    word = value ? (word | mask) : (word & ~mask);
+}
+
+const RowBits&
+BitArray::readRow(unsigned row) const
+{
+    checkRow(row);
+    return cells[row];
+}
+
+void
+BitArray::writeRow(unsigned row, const RowBits& value,
+                   const RowBits* col_mask)
+{
+    checkRow(row);
+    RowBits& target = cells[row];
+    for (unsigned w = 0; w < rowWords; ++w) {
+        if (col_mask) {
+            const std::uint64_t m = (*col_mask)[w];
+            target[w] = (target[w] & ~m) | (value[w] & m);
+        } else {
+            target[w] = value[w];
+        }
+    }
+}
+
+BlcSense
+BitArray::bitLineCompute(unsigned row_a, unsigned row_b) const
+{
+    checkRow(row_a);
+    checkRow(row_b);
+    BlcSense sense{RowBits(rowWords), RowBits(rowWords)};
+    const RowBits& a = cells[row_a];
+    const RowBits& b = cells[row_b];
+    for (unsigned w = 0; w < rowWords; ++w) {
+        sense.andBits[w] = a[w] & b[w];
+        sense.orBits[w] = a[w] | b[w];
+    }
+    return sense;
+}
+
+void
+BitArray::clear()
+{
+    for (auto& row : cells)
+        for (auto& word : row)
+            word = 0;
+}
+
+} // namespace eve

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A bit-line-compute-capable SRAM bit array.
+ *
+ * Models the storage half of an EVE SRAM: a rows x cols matrix of 6T
+ * bit cells with (a) normal row read/write and (b) the dual-wordline
+ * bit-line compute of Jeloka et al.: activating two wordlines with
+ * the sense amplifiers in single-ended mode yields, per column, the
+ * AND of the two stored bits on one bit line and (the complement of)
+ * the NOR on the other — i.e. and/nand/or/nor of the two rows in a
+ * single access.
+ *
+ * Rows are stored as packed 64-bit words; column 0 is bit 0 of word 0.
+ */
+
+#ifndef EVE_CORE_SRAM_BIT_ARRAY_HH
+#define EVE_CORE_SRAM_BIT_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace eve
+{
+
+/** Packed row of column bits. */
+using RowBits = std::vector<std::uint64_t>;
+
+/** Result of a bit-line compute access. */
+struct BlcSense
+{
+    RowBits andBits;  ///< per-column AND of the two rows
+    RowBits orBits;   ///< per-column OR of the two rows
+};
+
+/** The bit matrix. */
+class BitArray
+{
+  public:
+    BitArray(unsigned rows, unsigned cols);
+
+    unsigned rows() const { return numRows; }
+    unsigned cols() const { return numCols; }
+
+    bool get(unsigned row, unsigned col) const;
+    void set(unsigned row, unsigned col, bool value);
+
+    /** Normal read of one row. */
+    const RowBits& readRow(unsigned row) const;
+
+    /**
+     * Normal write of one row. When @p col_mask is non-null only
+     * columns whose mask bit is set are updated.
+     */
+    void writeRow(unsigned row, const RowBits& value,
+                  const RowBits* col_mask = nullptr);
+
+    /** Dual-wordline bit-line compute of two rows. */
+    BlcSense bitLineCompute(unsigned row_a, unsigned row_b) const;
+
+    /** Words per packed row. */
+    unsigned wordsPerRow() const { return rowWords; }
+
+    /** An all-zero packed row of the right width. */
+    RowBits zeroRow() const { return RowBits(rowWords, 0); }
+
+    /** Clear every bit. */
+    void clear();
+
+  private:
+    void checkRow(unsigned row) const;
+
+    unsigned numRows;
+    unsigned numCols;
+    unsigned rowWords;
+    std::vector<RowBits> cells;
+};
+
+} // namespace eve
+
+#endif // EVE_CORE_SRAM_BIT_ARRAY_HH

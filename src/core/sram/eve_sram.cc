@@ -1,0 +1,287 @@
+#include "core/sram/eve_sram.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace eve
+{
+
+EveSram::EveSram(const EveSramConfig& config)
+    : cfg(config),
+      segs(config.elem_bits / config.pf),
+      array((config.num_vregs + config.scratch_regs) *
+                (config.elem_bits / config.pf),
+            config.lanes * config.pf),
+      senseAnd(array.zeroRow()),
+      senseOr(array.zeroRow()),
+      addOut(array.zeroRow()),
+      maskBits(array.zeroRow()),
+      xregBits(array.zeroRow()),
+      cshiftBits(array.zeroRow()),
+      carryNext(config.lanes, 0),
+      carryFF(config.lanes, 0),
+      linkFF(config.lanes, 0)
+{
+    if (cfg.pf == 0 || cfg.elem_bits % cfg.pf != 0)
+        fatal("EveSram: pf %u must divide element width %u",
+              cfg.pf, cfg.elem_bits);
+}
+
+unsigned
+EveSram::rowOf(unsigned vreg, unsigned seg) const
+{
+    if (vreg >= cfg.num_vregs + cfg.scratch_regs || seg >= segs)
+        panic("EveSram::rowOf: v%u seg %u out of range", vreg, seg);
+    return vreg * segs + seg;
+}
+
+unsigned
+EveSram::scratchReg(unsigned i) const
+{
+    if (i >= cfg.scratch_regs)
+        panic("EveSram::scratchReg: only %u scratch registers",
+              cfg.scratch_regs);
+    return cfg.num_vregs + i;
+}
+
+bool
+EveSram::rowBit(const RowBits& row, unsigned col)
+{
+    return (row[col / 64] >> (col % 64)) & 1;
+}
+
+void
+EveSram::setRowBit(RowBits& row, unsigned col, bool value)
+{
+    std::uint64_t& word = row[col / 64];
+    const std::uint64_t mask = std::uint64_t{1} << (col % 64);
+    word = value ? (word | mask) : (word & ~mask);
+}
+
+void
+EveSram::computeAdd(CarryIn carry)
+{
+    // n-bit Manchester carry chain per lane: propagate = xor,
+    // generate = and, sum = propagate ^ carry.
+    for (unsigned lane = 0; lane < cfg.lanes; ++lane) {
+        bool c;
+        switch (carry) {
+          case CarryIn::Zero: c = false; break;
+          case CarryIn::One: c = true; break;
+          default: c = carryFF[lane]; break;
+        }
+        for (unsigned b = 0; b < cfg.pf; ++b) {
+            const unsigned col = lane * cfg.pf + b;
+            const bool g = rowBit(senseAnd, col);
+            const bool o = rowBit(senseOr, col);
+            const bool p = o && !g;  // xor
+            setRowBit(addOut, col, p != c);
+            c = g || (c && p);
+        }
+        carryNext[lane] = c;
+    }
+}
+
+RowBits
+EveSram::writeValue(const Uop& uop) const
+{
+    RowBits value = array.zeroRow();
+    const unsigned words = array.wordsPerRow();
+    switch (uop.src) {
+      case USrc::And:
+        return senseAnd;
+      case USrc::Or:
+        return senseOr;
+      case USrc::Add:
+        return addOut;
+      case USrc::Shift:
+        return cshiftBits;
+      case USrc::Nand:
+        for (unsigned w = 0; w < words; ++w)
+            value[w] = ~senseAnd[w];
+        return value;
+      case USrc::Nor:
+        for (unsigned w = 0; w < words; ++w)
+            value[w] = ~senseOr[w];
+        return value;
+      case USrc::Xor:
+        for (unsigned w = 0; w < words; ++w)
+            value[w] = senseOr[w] & ~senseAnd[w];
+        return value;
+      case USrc::Xnor:
+        for (unsigned w = 0; w < words; ++w)
+            value[w] = ~(senseOr[w] & ~senseAnd[w]);
+        return value;
+      case USrc::DataIn:
+        // Broadcast the same n-bit segment into every lane.
+        for (unsigned lane = 0; lane < cfg.lanes; ++lane)
+            for (unsigned b = 0; b < cfg.pf; ++b)
+                if (bit(uop.data, b))
+                    setRowBit(value, lane * cfg.pf + b, true);
+        return value;
+      case USrc::MaskLsb:
+        // The lane's mask bit lands in its LSB column; other columns
+        // get zero (used to materialize 0/1 compare results).
+        for (unsigned lane = 0; lane < cfg.lanes; ++lane)
+            if (rowBit(maskBits, laneLsbCol(lane)))
+                setRowBit(value, laneLsbCol(lane), true);
+        return value;
+      default:
+        panic("EveSram: unknown write source %d", int(uop.src));
+    }
+}
+
+void
+EveSram::exec(const Uop& uop)
+{
+    switch (uop.kind) {
+      case UKind::Nop:
+        return;
+
+      case UKind::Blc: {
+        BlcSense sense = array.bitLineCompute(uop.rowA, uop.rowB);
+        senseAnd = std::move(sense.andBits);
+        senseOr = std::move(sense.orBits);
+        computeAdd(uop.carry);
+        return;
+      }
+
+      case UKind::Wr: {
+        RowBits value = writeValue(uop);
+        array.writeRow(uop.rowA, value, uop.useMask ? &maskBits : nullptr);
+        if (uop.src == USrc::Add) {
+            // Writing back an add result latches the segment carry
+            // into the spare-shifter flip-flop for chaining. Masked
+            // lanes keep their carry (they are not participating).
+            for (unsigned lane = 0; lane < cfg.lanes; ++lane)
+                if (!uop.useMask || rowBit(maskBits, laneLsbCol(lane)))
+                    carryFF[lane] = carryNext[lane];
+        }
+        return;
+      }
+
+      case UKind::RdCShift:
+        cshiftBits = array.readRow(uop.rowA);
+        return;
+
+      case UKind::RdXReg:
+        xregBits = array.readRow(uop.rowA);
+        return;
+
+      case UKind::LShift:
+        for (unsigned lane = 0; lane < cfg.lanes; ++lane) {
+            if (uop.useMask && !rowBit(maskBits, laneLsbCol(lane)))
+                continue;
+            const bool out = rowBit(cshiftBits, laneMsbCol(lane));
+            for (unsigned b = cfg.pf; b-- > 1;)
+                setRowBit(cshiftBits, lane * cfg.pf + b,
+                          rowBit(cshiftBits, lane * cfg.pf + b - 1));
+            setRowBit(cshiftBits, laneLsbCol(lane), linkFF[lane]);
+            linkFF[lane] = out;
+        }
+        return;
+
+      case UKind::RShift:
+        for (unsigned lane = 0; lane < cfg.lanes; ++lane) {
+            if (uop.useMask && !rowBit(maskBits, laneLsbCol(lane)))
+                continue;
+            const bool out = rowBit(cshiftBits, laneLsbCol(lane));
+            for (unsigned b = 0; b + 1 < cfg.pf; ++b)
+                setRowBit(cshiftBits, lane * cfg.pf + b,
+                          rowBit(cshiftBits, lane * cfg.pf + b + 1));
+            setRowBit(cshiftBits, laneMsbCol(lane), linkFF[lane]);
+            linkFF[lane] = out;
+        }
+        return;
+
+      case UKind::MaskShift:
+        for (unsigned lane = 0; lane < cfg.lanes; ++lane) {
+            for (unsigned b = 0; b + 1 < cfg.pf; ++b)
+                setRowBit(xregBits, lane * cfg.pf + b,
+                          rowBit(xregBits, lane * cfg.pf + b + 1));
+            setRowBit(xregBits, laneMsbCol(lane), false);
+        }
+        return;
+
+      case UKind::MaskFromXRegLsb:
+      case UKind::MaskFromXRegMsb:
+        for (unsigned lane = 0; lane < cfg.lanes; ++lane) {
+            const unsigned col = uop.kind == UKind::MaskFromXRegLsb
+                                     ? laneLsbCol(lane)
+                                     : laneMsbCol(lane);
+            const bool b = rowBit(xregBits, col);
+            for (unsigned i = 0; i < cfg.pf; ++i)
+                setRowBit(maskBits, lane * cfg.pf + i, b);
+        }
+        return;
+
+      case UKind::MaskSetAll:
+        for (auto& word : maskBits)
+            word = ~std::uint64_t{0};
+        return;
+
+      case UKind::MaskInvert:
+        for (auto& word : maskBits)
+            word = ~word;
+        return;
+
+      case UKind::MaskFromCarry:
+        for (unsigned lane = 0; lane < cfg.lanes; ++lane) {
+            const bool b = carryFF[lane];
+            for (unsigned i = 0; i < cfg.pf; ++i)
+                setRowBit(maskBits, lane * cfg.pf + i, b);
+        }
+        return;
+
+      case UKind::ClearLink:
+        for (auto& link : linkFF)
+            link = 0;
+        return;
+    }
+    panic("EveSram: unknown micro-op kind %d", int(uop.kind));
+}
+
+void
+EveSram::run(const MacroProgram& prog)
+{
+    for (const Uop& uop : prog)
+        exec(uop);
+}
+
+void
+EveSram::writeElement(unsigned lane, unsigned vreg, std::uint32_t value)
+{
+    for (unsigned b = 0; b < cfg.elem_bits; ++b) {
+        const unsigned seg = b / cfg.pf;
+        const unsigned col = lane * cfg.pf + (b % cfg.pf);
+        array.set(rowOf(vreg, seg), col, bit(value, b));
+    }
+}
+
+std::uint32_t
+EveSram::readElement(unsigned lane, unsigned vreg) const
+{
+    std::uint32_t value = 0;
+    for (unsigned b = 0; b < cfg.elem_bits; ++b) {
+        const unsigned seg = b / cfg.pf;
+        const unsigned col = lane * cfg.pf + (b % cfg.pf);
+        if (array.get(rowOf(vreg, seg), col))
+            value |= std::uint32_t{1} << b;
+    }
+    return value;
+}
+
+bool
+EveSram::laneMask(unsigned lane) const
+{
+    return rowBit(maskBits, laneLsbCol(lane));
+}
+
+void
+EveSram::setMaskAll(bool value)
+{
+    for (auto& word : maskBits)
+        word = value ? ~std::uint64_t{0} : 0;
+}
+
+} // namespace eve

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Functional model of one EVE SRAM: the bit array of bit_array.hh plus
+ * the peripheral circuit stacks of Section III of the paper (bus
+ * logic, XOR/XNOR logic, add logic, XRegister, constant shifter,
+ * spare shifter, mask logic), executing the micro-ops of
+ * core/uprog/uop.hh one per cycle.
+ *
+ * Geometry follows the layout model: `lanes` lanes of `pf` columns
+ * each; a register file of `num_vregs` architectural registers (plus
+ * a small scratch window used by macro-ops whose destination aliases
+ * a source) stacked vertically, one n-bit segment per row. See
+ * DESIGN.md approximation A1: the physical fold of a lane into
+ * multiple column groups for pf < 4 is modelled in timing (macro-op
+ * lengths and the VL law) while the functional array uses the
+ * unfolded virtual layout, which computes identical values.
+ *
+ * Circuit semantics implemented here (concretizing the paper's
+ * description):
+ *  - blc activates two wordlines; the single-ended sense amps yield
+ *    per-column and/or (nand/nor by complement); the XOR/XNOR stack
+ *    derives xor = or & ~and.
+ *  - The add logic is an n-bit Manchester carry chain per lane fed by
+ *    the and/xor senses; carry-in comes from 0, 1, or the carry
+ *    flip-flop in the spare shifter (segment chaining), and the carry
+ *    flip-flop is updated whenever an Add result is written back.
+ *  - The constant shifter holds one n-bit segment per lane and does
+ *    conditional 1-bit shifts; the spare shifter's link flip-flop
+ *    carries the shifted-out bit across segments (and across
+ *    iterations of a multi-segment shift).
+ *  - The XRegister is a per-lane right-shift register used to examine
+ *    multiplier/shift-amount bits serially; the mask latch can be
+ *    loaded from the XRegister's LSB or MSB column broadcast across
+ *    the lane.
+ */
+
+#ifndef EVE_CORE_SRAM_EVE_SRAM_HH
+#define EVE_CORE_SRAM_EVE_SRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sram/bit_array.hh"
+#include "core/uprog/uop.hh"
+
+namespace eve
+{
+
+/** Geometry of one functional EVE SRAM. */
+struct EveSramConfig
+{
+    unsigned lanes = 8;        ///< elements processed in parallel
+    unsigned pf = 8;           ///< parallelization factor n
+    unsigned elem_bits = 32;   ///< element precision
+    unsigned num_vregs = 32;   ///< architectural vector registers
+    unsigned scratch_regs = 16; ///< VSU-managed scratch window
+};
+
+/** One EVE SRAM with its peripheral stacks. */
+class EveSram
+{
+  public:
+    explicit EveSram(const EveSramConfig& config);
+
+    const EveSramConfig& config() const { return cfg; }
+
+    unsigned segments() const { return segs; }
+
+    /** Row holding segment @p seg of register @p vreg. */
+    unsigned rowOf(unsigned vreg, unsigned seg) const;
+
+    /** First scratch register id. */
+    unsigned scratchReg(unsigned i = 0) const;
+
+    /** Execute one micro-op (one cycle). */
+    void exec(const Uop& uop);
+
+    /** Execute a whole unrolled micro-program. */
+    void run(const MacroProgram& prog);
+
+    // ----- Element access (test / DTU boundary) ----------------------
+
+    /** Deposit an element in transposed layout. */
+    void writeElement(unsigned lane, unsigned vreg, std::uint32_t value);
+
+    /** Collect an element from transposed layout. */
+    std::uint32_t readElement(unsigned lane, unsigned vreg) const;
+
+    /** Current mask bit of a lane (its LSB column latch). */
+    bool laneMask(unsigned lane) const;
+
+    /** Force the mask latch of every column (tests). */
+    void setMaskAll(bool value);
+
+    /** Raw bit array (tests). */
+    BitArray& bits() { return array; }
+    const BitArray& bits() const { return array; }
+
+  private:
+    static bool rowBit(const RowBits& row, unsigned col);
+    static void setRowBit(RowBits& row, unsigned col, bool value);
+    unsigned laneLsbCol(unsigned lane) const { return lane * cfg.pf; }
+    unsigned laneMsbCol(unsigned lane) const
+    {
+        return lane * cfg.pf + cfg.pf - 1;
+    }
+
+    /** Compute the add-logic outputs from fresh senses. */
+    void computeAdd(CarryIn carry);
+
+    /** Build the writeback value for a Wr micro-op. */
+    RowBits writeValue(const Uop& uop) const;
+
+    EveSramConfig cfg;
+    unsigned segs;
+    BitArray array;
+
+    // Peripheral state.
+    RowBits senseAnd;
+    RowBits senseOr;
+    RowBits addOut;
+    RowBits maskBits;
+    RowBits xregBits;
+    RowBits cshiftBits;
+    std::vector<std::uint8_t> carryNext;  ///< per lane, from last blc
+    std::vector<std::uint8_t> carryFF;    ///< per lane, committed
+    std::vector<std::uint8_t> linkFF;     ///< per lane, spare shifter
+};
+
+} // namespace eve
+
+#endif // EVE_CORE_SRAM_EVE_SRAM_HH

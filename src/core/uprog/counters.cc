@@ -1,0 +1,90 @@
+#include "core/uprog/counters.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace eve
+{
+
+void
+CounterFile::init(CounterId id, std::uint32_t value)
+{
+    Counter& c = at(id);
+    c.initVal = value;
+    c.val = value;
+    c.nextIdx = 0;
+    c.lastIdx = 0;
+    c.zero = false;
+    c.decade = false;
+}
+
+void
+CounterFile::decr(CounterId id)
+{
+    Counter& c = at(id);
+    if (c.val == 0)
+        panic("CounterFile: decrement of un-initialized counter %u",
+              unsigned(id));
+    --c.val;
+    c.lastIdx = c.nextIdx++;
+    if (c.val == 0) {
+        c.val = c.initVal;
+        c.zero = true;
+        c.nextIdx = 0;
+    }
+    if (isPow2(c.val))
+        c.decade = true;
+}
+
+void
+CounterFile::incr(CounterId id)
+{
+    Counter& c = at(id);
+    ++c.val;
+    if (isPow2(c.val))
+        c.decade = true;
+}
+
+std::uint32_t
+CounterFile::value(CounterId id) const
+{
+    return at(id).val;
+}
+
+std::uint32_t
+CounterFile::iteration(CounterId id) const
+{
+    return at(id).lastIdx;
+}
+
+bool
+CounterFile::zeroFlag(CounterId id) const
+{
+    return at(id).zero;
+}
+
+bool
+CounterFile::decadeFlag(CounterId id) const
+{
+    return at(id).decade;
+}
+
+void
+CounterFile::clearZeroFlag(CounterId id)
+{
+    at(id).zero = false;
+}
+
+void
+CounterFile::clearDecadeFlag(CounterId id)
+{
+    at(id).decade = false;
+}
+
+bool
+CounterFile::firstIteration(CounterId id) const
+{
+    return at(id).lastIdx == 0;
+}
+
+} // namespace eve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The 12 shared EVE counters (Section IV-A).
+ *
+ * Three groups of four: segment counters, bit counters, and array
+ * counters. A counter decremented to zero resets to its init value
+ * and raises its zero flag; a counter whose value lands on a power
+ * of two raises its binary-decade flag. Conditional control
+ * micro-ops (bnz/bnd) inspect and consume these flags.
+ */
+
+#ifndef EVE_CORE_UPROG_COUNTERS_HH
+#define EVE_CORE_UPROG_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace eve
+{
+
+/** Identifiers of the 12 counters. */
+enum class CounterId : std::uint8_t
+{
+    Seg0, Seg1, Seg2, Seg3,
+    Bit0, Bit1, Bit2, Bit3,
+    Arr0, Arr1, Arr2, Arr3,
+};
+
+constexpr unsigned numCounters = 12;
+
+/** The counter file. */
+class CounterFile
+{
+  public:
+    /** Initialize counter @p id to @p value (also its reset value). */
+    void init(CounterId id, std::uint32_t value);
+
+    /** Decrement; wraps to the init value and raises the zero flag. */
+    void decr(CounterId id);
+
+    /** Increment (no flag side effects besides decade tracking). */
+    void incr(CounterId id);
+
+    std::uint32_t value(CounterId id) const;
+
+    /**
+     * Zero-based index of the loop iteration the most recent decr
+     * belongs to (used by the sequencer to step row addresses).
+     */
+    std::uint32_t iteration(CounterId id) const;
+
+    /** True while the counter has not wrapped since its last init. */
+    bool zeroFlag(CounterId id) const;
+
+    /** True if the counter value landed on a power of two. */
+    bool decadeFlag(CounterId id) const;
+
+    /** Consume (clear) the zero flag. */
+    void clearZeroFlag(CounterId id);
+
+    /** Consume (clear) the decade flag. */
+    void clearDecadeFlag(CounterId id);
+
+    /** True only for the first iteration after init (carry seeding). */
+    bool firstIteration(CounterId id) const;
+
+  private:
+    struct Counter
+    {
+        std::uint32_t initVal = 0;
+        std::uint32_t val = 0;
+        std::uint32_t nextIdx = 0; ///< decrements since init/wrap
+        std::uint32_t lastIdx = 0; ///< index of the latest decr
+        bool zero = false;
+        bool decade = false;
+    };
+
+    Counter& at(CounterId id) { return counters[unsigned(id)]; }
+    const Counter& at(CounterId id) const
+    {
+        return counters[unsigned(id)];
+    }
+
+    std::array<Counter, numCounters> counters;
+};
+
+} // namespace eve
+
+#endif // EVE_CORE_UPROG_COUNTERS_HH

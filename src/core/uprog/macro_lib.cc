@@ -1,0 +1,803 @@
+#include "core/uprog/macro_lib.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace eve
+{
+
+namespace
+{
+
+/**
+ * Scratch-register slots above the 32 architectural registers.
+ *
+ * The VSU manages this window: macro-ops use it for intermediates,
+ * staged constants, and alias resolution. All micro-ops touching it
+ * are part of the generated programs, so its cost is fully charged.
+ */
+enum ScratchSlot : unsigned
+{
+    SC_A = 0,      ///< shifting dividend / multiplicand copy
+    SC_R = 1,      ///< division remainder / generic temp
+    SC_T = 2,      ///< subtraction/compare temp
+    SC_Q = 3,      ///< division quotient / mul accumulator
+    SC_U = 4,      ///< |a| for signed division
+    SC_V = 5,      ///< |b| for signed division
+    SC_SA = 6,     ///< staged sign bit of a / OR-reduce accumulator
+    SC_SB = 7,     ///< staged sign bit of b
+    SC_KONES = 8,  ///< constant row: all ones segment
+    SC_K1 = 9,     ///< constant row: segment value 1
+    SC_K0 = 10,    ///< constant row: segment value 0
+    SC_KSIGN = 11, ///< constant row: segment with top bit set
+    SC_XOP = 12,   ///< broadcast scalar operand (.vx forms)
+    SC_WRAP = 13,  ///< result staging for masked complex ops
+    SC_BZ = 14,    ///< staged divisor-nonzero bit (signed division)
+};
+
+/**
+ * Emits micro-programs for one instruction. Stateless between
+ * instructions; all methods append to @ref prog.
+ */
+class MacroAsm
+{
+  public:
+    explicit MacroAsm(const EveSramConfig& cfg)
+        : cfg(cfg), S(cfg.elem_bits / cfg.pf), n(cfg.pf)
+    {
+    }
+
+    MacroProgram prog;
+    bool bitExact = true;
+
+    unsigned
+    rowOf(unsigned reg, unsigned seg) const
+    {
+        return reg * S + seg;
+    }
+
+    unsigned scratch(unsigned slot) const { return cfg.num_vregs + slot; }
+
+    void emit(const Uop& u) { prog.push_back(u); }
+
+    // ----- primitive building blocks ---------------------------------
+
+    /** dst <- src, optionally under the current mask. 2S uops. */
+    void
+    copy(unsigned dst, unsigned src, bool masked = false)
+    {
+        for (unsigned s = 0; s < S; ++s) {
+            emit(uBlc(rowOf(src, s), rowOf(src, s)));
+            emit(uWr(rowOf(dst, s), USrc::And, masked));
+        }
+    }
+
+    /** dst <- 0. S uops. */
+    void
+    zero(unsigned dst, bool masked = false)
+    {
+        for (unsigned s = 0; s < S; ++s)
+            emit(uWr(rowOf(dst, s), USrc::DataIn, masked, 0));
+    }
+
+    /** dst <- ~src. 2S uops. */
+    void
+    notInto(unsigned dst, unsigned src)
+    {
+        for (unsigned s = 0; s < S; ++s) {
+            emit(uBlc(rowOf(src, s), rowOf(src, s)));
+            emit(uWr(rowOf(dst, s), USrc::Nand));
+        }
+    }
+
+    /** dst <- a + b (+1 when first==One). 2S uops; in-place safe. */
+    void
+    addInto(unsigned dst, unsigned a, unsigned b, bool masked = false,
+            CarryIn first = CarryIn::Zero)
+    {
+        for (unsigned s = 0; s < S; ++s) {
+            emit(uBlc(rowOf(a, s), rowOf(b, s),
+                      s == 0 ? first : CarryIn::Chain));
+            emit(uWr(rowOf(dst, s), USrc::Add, masked));
+        }
+    }
+
+    /** dst <- fn(a, b) bitwise. 2S uops. */
+    void
+    logicInto(unsigned dst, unsigned a, unsigned b, USrc fn,
+              bool masked = false)
+    {
+        for (unsigned s = 0; s < S; ++s) {
+            emit(uBlc(rowOf(a, s), rowOf(b, s)));
+            emit(uWr(rowOf(dst, s), fn, masked));
+        }
+    }
+
+    /** Segment value of bit-window s of a 32-bit constant. */
+    std::uint32_t
+    segBits(std::uint32_t value, unsigned s) const
+    {
+        const std::uint32_t shifted = value >> (s * n);
+        return n >= 32 ? shifted
+                       : shifted & ((std::uint32_t{1} << n) - 1);
+    }
+
+    /** dst <- broadcast 32-bit constant. S uops. */
+    void
+    broadcast(unsigned dst, std::uint32_t value, bool masked = false)
+    {
+        for (unsigned s = 0; s < S; ++s)
+            emit(uWr(rowOf(dst, s), USrc::DataIn, masked,
+                     segBits(value, s)));
+    }
+
+    /** Stage an n-bit constant into row 0 of a scratch slot. 1 uop. */
+    unsigned
+    constRow(unsigned slot, std::uint32_t seg_value)
+    {
+        const unsigned row = rowOf(scratch(slot), 0);
+        emit(uWr(row, USrc::DataIn, false, seg_value));
+        return row;
+    }
+
+    /** mask <- bit 0 of each element of @p reg. 2 uops. */
+    void
+    maskFromBit0(unsigned reg)
+    {
+        emit(uRdXReg(rowOf(reg, 0)));
+        emit(uSimple(UKind::MaskFromXRegLsb));
+    }
+
+    /** mask <- sign bit of each element of @p reg. 2 uops. */
+    void
+    maskFromSign(unsigned reg)
+    {
+        emit(uRdXReg(rowOf(reg, S - 1)));
+        emit(uSimple(UKind::MaskFromXRegMsb));
+    }
+
+    /** One full-element 1-bit shift pass. 1 + 3S uops. */
+    void
+    shiftPass(unsigned reg, bool left, bool masked = false)
+    {
+        emit(uSimple(UKind::ClearLink));
+        if (left) {
+            for (unsigned s = 0; s < S; ++s) {
+                emit(uRdCShift(rowOf(reg, s)));
+                emit(uSimple(UKind::LShift, masked));
+                emit(uWr(rowOf(reg, s), USrc::Shift, masked));
+            }
+        } else {
+            for (unsigned s = S; s-- > 0;) {
+                emit(uRdCShift(rowOf(reg, s)));
+                emit(uSimple(UKind::RShift, masked));
+                emit(uWr(rowOf(reg, s), USrc::Shift, masked));
+            }
+        }
+    }
+
+    /** Shift @p reg by @p m whole segments (row moves + zero fill). */
+    void
+    segMove(unsigned reg, unsigned m, bool left, bool masked = false)
+    {
+        if (m == 0 || m >= S) {
+            if (m >= S)
+                zero(reg, masked);
+            return;
+        }
+        if (left) {
+            for (unsigned s = S; s-- > m;) {
+                emit(uBlc(rowOf(reg, s - m), rowOf(reg, s - m)));
+                emit(uWr(rowOf(reg, s), USrc::And, masked));
+            }
+            for (unsigned s = 0; s < m; ++s)
+                emit(uWr(rowOf(reg, s), USrc::DataIn, masked, 0));
+        } else {
+            for (unsigned s = 0; s + m < S; ++s) {
+                emit(uBlc(rowOf(reg, s + m), rowOf(reg, s + m)));
+                emit(uWr(rowOf(reg, s), USrc::And, masked));
+            }
+            for (unsigned s = S - m; s < S; ++s)
+                emit(uWr(rowOf(reg, s), USrc::DataIn, masked, 0));
+        }
+    }
+
+    /** Logical shift of @p reg by constant @p k (in place). */
+    void
+    shiftConst(unsigned reg, unsigned k, bool left)
+    {
+        k &= cfg.elem_bits - 1;
+        const unsigned q = k / n;
+        const unsigned r = k % n;
+        segMove(reg, q, left);
+        for (unsigned i = 0; i < r; ++i)
+            shiftPass(reg, left);
+    }
+
+    /** mask <- (a < b) unsigned, via the subtract carry. 4S + 2. */
+    void
+    ltuMask(unsigned a, unsigned b)
+    {
+        const unsigned t = scratch(SC_T);
+        notInto(t, b);
+        addInto(t, a, t, false, CarryIn::One);
+        emit(uSimple(UKind::MaskFromCarry));
+        emit(uSimple(UKind::MaskInvert));
+    }
+
+    /** mask <- (a < b) signed, via sign-bias + unsigned compare. */
+    void
+    ltMask(unsigned a, unsigned b)
+    {
+        const unsigned ksign =
+            constRow(SC_KSIGN, std::uint32_t{1} << (n - 1));
+        const unsigned t = scratch(SC_T);
+        // t = ~(b ^ signbit)
+        for (unsigned s = 0; s + 1 < S; ++s) {
+            emit(uBlc(rowOf(b, s), rowOf(b, s)));
+            emit(uWr(rowOf(t, s), USrc::Nand));
+        }
+        emit(uBlc(rowOf(b, S - 1), ksign));
+        emit(uWr(rowOf(t, S - 1), USrc::Xnor));
+        // stage a's biased top segment
+        const unsigned axm = rowOf(scratch(SC_SA), 0);
+        emit(uBlc(rowOf(a, S - 1), ksign));
+        emit(uWr(axm, USrc::Xor));
+        // t = (a ^ signbit) + t + 1; carry == (a >= b signed)
+        for (unsigned s = 0; s + 1 < S; ++s) {
+            emit(uBlc(rowOf(a, s), rowOf(t, s),
+                      s == 0 ? CarryIn::One : CarryIn::Chain));
+            emit(uWr(rowOf(t, s), USrc::Add));
+        }
+        emit(uBlc(axm, rowOf(t, S - 1),
+                  S == 1 ? CarryIn::One : CarryIn::Chain));
+        emit(uWr(rowOf(t, S - 1), USrc::Add));
+        emit(uSimple(UKind::MaskFromCarry));
+        emit(uSimple(UKind::MaskInvert));
+    }
+
+    /** mask <- (a != b), via xor + OR-reduction + carry trick. */
+    void
+    neMask(unsigned a, unsigned b)
+    {
+        const unsigned t = scratch(SC_T);
+        logicInto(t, a, b, USrc::Xor);
+        // OR all segments into one row.
+        const unsigned acc = rowOf(scratch(SC_SA), 0);
+        emit(uBlc(rowOf(t, 0), rowOf(t, 0)));
+        emit(uWr(acc, USrc::And));
+        for (unsigned s = 1; s < S; ++s) {
+            emit(uBlc(acc, rowOf(t, s)));
+            emit(uWr(acc, USrc::Or));
+        }
+        // acc + (2^n - 1) carries out iff acc != 0.
+        const std::uint32_t ones =
+            n >= 32 ? 0xffffffffu : ((std::uint32_t{1} << n) - 1);
+        const unsigned kones = constRow(SC_KONES, ones);
+        emit(uBlc(acc, kones, CarryIn::Zero));
+        emit(uWr(kones, USrc::Add));
+        emit(uSimple(UKind::MaskFromCarry));
+    }
+
+    /** Write the current mask as a 0/1 element into @p dst. S+1. */
+    void
+    maskToReg(unsigned dst)
+    {
+        // Zeroing must not use the mask latch; plain writes.
+        for (unsigned s = 1; s < S; ++s)
+            emit(uWr(rowOf(dst, s), USrc::DataIn, false, 0));
+        emit(uWr(rowOf(dst, 0), USrc::MaskLsb));
+    }
+
+    /** Conditionally negate @p reg in lanes where mask=1. ~4S + 3. */
+    void
+    condNegate(unsigned reg)
+    {
+        const std::uint32_t ones =
+            n >= 32 ? 0xffffffffu : ((std::uint32_t{1} << n) - 1);
+        const unsigned kones = constRow(SC_KONES, ones);
+        for (unsigned s = 0; s < S; ++s) {
+            emit(uBlc(rowOf(reg, s), kones));
+            emit(uWr(rowOf(reg, s), USrc::Xor, true));
+        }
+        const unsigned k1 = constRow(SC_K1, 1);
+        const unsigned k0 = constRow(SC_K0, 0);
+        for (unsigned s = 0; s < S; ++s) {
+            emit(uBlc(rowOf(reg, s), s == 0 ? k1 : k0,
+                      s == 0 ? CarryIn::Zero : CarryIn::Chain));
+            emit(uWr(rowOf(reg, s), USrc::Add, true));
+        }
+    }
+
+    const EveSramConfig& cfg;
+    const unsigned S;
+    const unsigned n;
+};
+
+} // namespace
+
+MacroLib::MacroLib(const EveSramConfig& config)
+    : cfg(config), segs(config.elem_bits / config.pf)
+{
+    if (cfg.scratch_regs < 16)
+        fatal("MacroLib: needs a 16-slot scratch window, got %u",
+              cfg.scratch_regs);
+}
+
+namespace
+{
+
+/** Dispatch table body: generate the program for one instruction. */
+void
+buildOne(MacroAsm& as, const Instr& instr)
+{
+    const unsigned S = as.S;
+    const unsigned n = as.n;
+    const bool wrap = instr.masked;  // complex ops stage via SC_WRAP
+
+    unsigned dst = instr.dst;
+    unsigned a = instr.src1;
+    unsigned b = instr.src2;
+
+    // Resolve .vx forms by broadcasting the scalar operand.
+    if (instr.usesScalar &&
+        opClass(instr.op) != OpClass::VecCtrl &&
+        instr.op != Op::VMvVX && instr.op != Op::VSll &&
+        instr.op != Op::VSrl && instr.op != Op::VSra &&
+        instr.op != Op::VSlideUp && instr.op != Op::VSlideDown) {
+        b = as.scratch(SC_XOP);
+        as.broadcast(b, std::uint32_t(instr.imm));
+    }
+
+    // Helper: run a complex op into `target`, then merge under v0.
+    const unsigned target = wrap ? as.scratch(SC_WRAP) : dst;
+    auto mergeWrapped = [&]() {
+        if (!wrap)
+            return;
+        as.maskFromBit0(0);
+        as.copy(dst, as.scratch(SC_WRAP), true);
+    };
+    // Helper for simple ops that support native masking: set mask
+    // from v0 before the op.
+    auto nativeMask = [&]() {
+        if (instr.masked)
+            as.maskFromBit0(0);
+        return instr.masked;
+    };
+
+    switch (instr.op) {
+      case Op::VAdd: {
+        const bool m = nativeMask();
+        as.addInto(dst, a, b, m);
+        return;
+      }
+      case Op::VSub:
+      case Op::VRsub: {
+        if (instr.op == Op::VRsub)
+            std::swap(a, b);
+        // dst = a + ~b + 1; ~b may be staged in dst only when dst
+        // does not alias a source and the op is unmasked (a masked op
+        // must not disturb inactive lanes of dst).
+        unsigned t = (dst != a && dst != b && !instr.masked)
+                         ? dst
+                         : as.scratch(SC_T);
+        as.notInto(t, b);
+        const bool m = nativeMask();
+        as.addInto(dst, a, t, m, CarryIn::One);
+        return;
+      }
+      case Op::VAnd:
+      case Op::VOr:
+      case Op::VXor: {
+        const USrc fn = instr.op == Op::VAnd  ? USrc::And
+                        : instr.op == Op::VOr ? USrc::Or
+                                              : USrc::Xor;
+        const bool m = nativeMask();
+        as.logicInto(dst, a, b, fn, m);
+        return;
+      }
+
+      case Op::VMand:
+      case Op::VMor:
+      case Op::VMxor:
+      case Op::VMandn: {
+        // Mask registers hold 0/1 elements: segment 0 carries the
+        // value, upper segments are zeroed.
+        unsigned t = b;
+        if (instr.op == Op::VMandn) {
+            t = as.scratch(SC_T);
+            as.emit(uBlc(as.rowOf(b, 0), as.rowOf(b, 0)));
+            as.emit(uWr(as.rowOf(t, 0), USrc::Nand));
+        }
+        const USrc fn = instr.op == Op::VMor    ? USrc::Or
+                        : instr.op == Op::VMxor ? USrc::Xor
+                                                : USrc::And;
+        as.emit(uBlc(as.rowOf(a, 0), as.rowOf(t, 0)));
+        as.emit(uWr(as.rowOf(dst, 0), fn));
+        // Constrain the result to the mask bit (bit 0) so arbitrary
+        // register contents behave like RVV mask registers.
+        const unsigned k1 = as.constRow(SC_K1, 1);
+        as.emit(uBlc(as.rowOf(dst, 0), k1));
+        as.emit(uWr(as.rowOf(dst, 0), USrc::And));
+        for (unsigned s = 1; s < S; ++s)
+            as.emit(uWr(as.rowOf(dst, s), USrc::DataIn, false, 0));
+        return;
+      }
+
+      case Op::VMseq:
+      case Op::VMsne:
+        as.neMask(a, b);
+        if (instr.op == Op::VMseq)
+            as.emit(uSimple(UKind::MaskInvert));
+        as.maskToReg(target);
+        mergeWrapped();
+        return;
+
+      case Op::VMslt:
+      case Op::VMsle:
+      case Op::VMsgt:
+        if (instr.op == Op::VMslt) {
+            as.ltMask(a, b);
+        } else {
+            as.ltMask(b, a);
+            if (instr.op == Op::VMsle)
+                as.emit(uSimple(UKind::MaskInvert));
+        }
+        as.maskToReg(target);
+        mergeWrapped();
+        return;
+
+      case Op::VMin:
+      case Op::VMax:
+      case Op::VMinu:
+      case Op::VMaxu: {
+        const bool lt_sel =
+            instr.op == Op::VMin || instr.op == Op::VMinu;
+        if (instr.op == Op::VMin || instr.op == Op::VMax)
+            as.ltMask(a, b);
+        else
+            as.ltuMask(a, b);
+        if (!lt_sel)
+            as.emit(uSimple(UKind::MaskInvert));
+        // target = mask ? a : b
+        unsigned out = target;
+        if (!wrap && (dst == a || dst == b))
+            out = as.scratch(SC_WRAP);
+        as.copy(out, a, true);
+        as.emit(uSimple(UKind::MaskInvert));
+        as.copy(out, b, true);
+        if (out != target)
+            as.copy(dst, out);
+        mergeWrapped();
+        return;
+      }
+
+      case Op::VMerge: {
+        // Selector is always v0 (vmerge.vvm). Alias-aware copies.
+        as.maskFromBit0(0);
+        if (dst == a && dst == b)
+            return;
+        if (dst == a) {
+            as.emit(uSimple(UKind::MaskInvert));
+            as.copy(dst, b, true);
+        } else if (dst == b) {
+            as.copy(dst, a, true);
+        } else {
+            as.copy(dst, a, true);
+            as.emit(uSimple(UKind::MaskInvert));
+            as.copy(dst, b, true);
+        }
+        return;
+      }
+
+      case Op::VMvVX: {
+        const bool m = nativeMask();
+        as.broadcast(dst, std::uint32_t(instr.imm), m);
+        return;
+      }
+
+      case Op::VId:
+        // Per-lane distinct values enter through the DTU data port;
+        // timing is one row write per segment plus setup.
+        as.bitExact = false;
+        for (unsigned s = 0; s < S; ++s)
+            as.emit(uSimple(UKind::Nop));
+        as.emit(uSimple(UKind::Nop));
+        return;
+
+      case Op::VSll:
+      case Op::VSrl:
+      case Op::VSra: {
+        const bool left = instr.op == Op::VSll;
+        const unsigned width = as.cfg.elem_bits;
+        if (instr.usesScalar) {
+            const unsigned k = unsigned(instr.imm) & (width - 1);
+            if (target != a)
+                as.copy(target, a);
+            if (instr.op == Op::VSra) {
+                as.maskFromSign(a == target ? target : a);
+                as.shiftConst(target, k, false);
+                if (k > 0) {
+                    // OR the sign extension into the shifted value.
+                    const std::uint32_t ext = k >= width
+                        ? 0xffffffffu
+                        : ~((std::uint32_t{1} << (width - k)) - 1);
+                    const unsigned sc = as.scratch(SC_T);
+                    as.zero(sc);
+                    as.broadcast(sc, ext, true);
+                    as.logicInto(target, target, sc, USrc::Or);
+                }
+            } else {
+                as.shiftConst(target, k, left);
+            }
+            mergeWrapped();
+            return;
+        }
+        // Variable per-element shifts: binary decomposition with
+        // conditional passes / segment moves, predicated by each bit
+        // of the amount register.
+        unsigned amt = b;
+        if (target == b) {
+            amt = as.scratch(SC_T);
+            as.copy(amt, b);
+        }
+        if (target != a)
+            as.copy(target, a);
+        unsigned sign_src = 0;
+        if (instr.op == Op::VSra) {
+            // Stage the sign as a 0/1 element for later extension.
+            sign_src = as.scratch(SC_SB);
+            as.maskFromSign(a == target ? target : a);
+            as.maskToReg(sign_src);
+        }
+        for (unsigned i = 0; i < log2i(as.cfg.elem_bits); ++i) {
+            // mask <- bit i of the amount register.
+            as.emit(uRdXReg(as.rowOf(amt, i / n)));
+            for (unsigned j = 0; j < i % n; ++j)
+                as.emit(uSimple(UKind::MaskShift));
+            as.emit(uSimple(UKind::MaskFromXRegLsb));
+            const unsigned dist = 1u << i;
+            if (dist >= n) {
+                as.segMove(target, dist / n, left, true);
+            } else {
+                for (unsigned r = 0; r < dist; ++r)
+                    as.shiftPass(target, left, true);
+            }
+        }
+        if (instr.op == Op::VSra) {
+            // Arithmetic fill: negative lanes OR in ~(~0u >> amt).
+            // Compute ext = ~(ones >> amt) via a second variable
+            // shift of a staged all-ones value, predicated on sign.
+            const unsigned ones_reg = as.scratch(SC_U);
+            as.broadcast(ones_reg, 0xffffffffu);
+            for (unsigned i = 0; i < log2i(as.cfg.elem_bits); ++i) {
+                as.emit(uRdXReg(as.rowOf(amt, i / n)));
+                for (unsigned j = 0; j < i % n; ++j)
+                    as.emit(uSimple(UKind::MaskShift));
+                as.emit(uSimple(UKind::MaskFromXRegLsb));
+                const unsigned dist = 1u << i;
+                if (dist >= n) {
+                    as.segMove(ones_reg, dist / n, false, true);
+                } else {
+                    for (unsigned r = 0; r < dist; ++r)
+                        as.shiftPass(ones_reg, false, true);
+                }
+            }
+            const unsigned ext = as.scratch(SC_V);
+            as.notInto(ext, ones_reg);
+            // Apply only in negative lanes.
+            as.maskFromBit0(sign_src);
+            for (unsigned s = 0; s < S; ++s) {
+                as.emit(uBlc(as.rowOf(target, s), as.rowOf(ext, s)));
+                as.emit(uWr(as.rowOf(target, s), USrc::Or, true));
+            }
+        }
+        mergeWrapped();
+        return;
+      }
+
+      case Op::VMul:
+      case Op::VMacc: {
+        // Shift-and-add with the S-CIM row-offset optimization:
+        // (a << j) decomposes into q = j/n whole segments — free, by
+        // reading the multiplicand's rows at a segment offset — and
+        // r = j%n in-segment bits, kept in a progressively shifted
+        // copy M' (reset from a at every segment boundary). The
+        // multiplier's bits stream through the XRegister, gating the
+        // predicated accumulation.
+        const unsigned mp = as.scratch(SC_A);   // a << (j % n)
+        const unsigned acc = as.scratch(SC_Q);  // accumulator
+        const unsigned zrow = as.constRow(SC_K0, 0);
+        if (instr.op == Op::VMacc)
+            as.copy(acc, dst);
+        else
+            as.zero(acc);
+        for (unsigned j = 0; j < as.cfg.elem_bits; ++j) {
+            const unsigned q = j / n;
+            const unsigned r = j % n;
+            if (r == 0) {
+                as.emit(uRdXReg(as.rowOf(b, q)));
+                if (n > 1)
+                    as.copy(mp, a);  // reset M' for this window
+            } else {
+                as.shiftPass(mp, true);
+            }
+            as.emit(uSimple(UKind::MaskFromXRegLsb));
+            const unsigned src = (r == 0) ? a : mp;
+            for (unsigned s = 0; s < S; ++s) {
+                const unsigned src_row =
+                    s >= q ? as.rowOf(src, s - q) : zrow;
+                as.emit(uBlc(as.rowOf(acc, s), src_row,
+                             s == 0 ? CarryIn::Zero : CarryIn::Chain));
+                as.emit(uWr(as.rowOf(acc, s), USrc::Add, true));
+            }
+            as.emit(uSimple(UKind::MaskShift));
+        }
+        if (wrap) {
+            as.maskFromBit0(0);
+            as.copy(dst, acc, true);
+        } else {
+            as.copy(dst, acc);
+        }
+        return;
+      }
+
+      case Op::VMulh: {
+        // High-half multiply: double-width accumulation; modelled
+        // with representative timing (~2x vmul) but not bit-exact
+        // through the micro-op path.
+        as.bitExact = false;
+        const std::size_t len =
+            2 * (32 * (2 * S + 2) + 31 * (3 * S + 1) + 5 * S);
+        for (std::size_t i = 0; i < len; ++i)
+            as.emit(uSimple(UKind::Nop));
+        return;
+      }
+
+      case Op::VDivu:
+      case Op::VRemu:
+      case Op::VDiv:
+      case Op::VRem: {
+        const bool is_signed =
+            instr.op == Op::VDiv || instr.op == Op::VRem;
+        const bool want_rem =
+            instr.op == Op::VRemu || instr.op == Op::VRem;
+
+        unsigned num = a;
+        unsigned den = b;
+        if (is_signed) {
+            // Stage "b != 0" for the RVV divide-by-zero rule (the
+            // quotient must stay -1, i.e. skip the sign fix-up).
+            if (!want_rem) {
+                as.zero(as.scratch(SC_A));
+                as.neMask(b, as.scratch(SC_A));
+                as.emit(uWr(as.rowOf(as.scratch(SC_BZ), 0),
+                            USrc::MaskLsb));
+            }
+            // |a|, |b| with staged sign bits.
+            as.copy(as.scratch(SC_U), a);
+            as.maskFromSign(a);
+            as.maskToReg(as.scratch(SC_SA));
+            as.condNegate(as.scratch(SC_U));
+            as.copy(as.scratch(SC_V), b);
+            as.maskFromSign(b);
+            as.maskToReg(as.scratch(SC_SB));
+            as.condNegate(as.scratch(SC_V));
+            num = as.scratch(SC_U);
+            den = as.scratch(SC_V);
+        }
+
+        const unsigned A = as.scratch(SC_A);
+        const unsigned R = as.scratch(SC_R);
+        const unsigned T = as.scratch(SC_T);
+        const unsigned Q = as.scratch(SC_Q);
+        as.copy(A, num);
+        as.zero(R);
+        as.zero(Q);
+        for (unsigned it = 0; it < as.cfg.elem_bits; ++it) {
+            // R:A <<= 1 (A's msb flows into R via the link FF).
+            as.emit(uSimple(UKind::ClearLink));
+            for (unsigned s = 0; s < S; ++s) {
+                as.emit(uRdCShift(as.rowOf(A, s)));
+                as.emit(uSimple(UKind::LShift));
+                as.emit(uWr(as.rowOf(A, s), USrc::Shift));
+            }
+            for (unsigned s = 0; s < S; ++s) {
+                as.emit(uRdCShift(as.rowOf(R, s)));
+                as.emit(uSimple(UKind::LShift));
+                as.emit(uWr(as.rowOf(R, s), USrc::Shift));
+            }
+            // Q <<= 1 (independent link).
+            as.emit(uSimple(UKind::ClearLink));
+            for (unsigned s = 0; s < S; ++s) {
+                as.emit(uRdCShift(as.rowOf(Q, s)));
+                as.emit(uSimple(UKind::LShift));
+                as.emit(uWr(as.rowOf(Q, s), USrc::Shift));
+            }
+            // T = R - den; carry==1 iff R >= den.
+            as.notInto(T, den);
+            as.addInto(T, R, T, false, CarryIn::One);
+            as.emit(uSimple(UKind::MaskFromCarry));
+            // Commit the subtraction and the quotient bit where it
+            // succeeded.
+            as.copy(R, T, true);
+            as.emit(uWr(as.rowOf(T, 0), USrc::MaskLsb));
+            as.emit(uBlc(as.rowOf(Q, 0), as.rowOf(T, 0)));
+            as.emit(uWr(as.rowOf(Q, 0), USrc::Or));
+        }
+
+        unsigned result = want_rem ? R : Q;
+        if (is_signed) {
+            if (want_rem) {
+                // Remainder takes the dividend's sign.
+                as.maskFromBit0(as.scratch(SC_SA));
+                as.condNegate(R);
+            } else {
+                // Quotient negative iff signs differ and b != 0 (a
+                // zero divisor leaves the all-ones quotient alone).
+                const unsigned sa = as.rowOf(as.scratch(SC_SA), 0);
+                const unsigned sb = as.rowOf(as.scratch(SC_SB), 0);
+                const unsigned bz = as.rowOf(as.scratch(SC_BZ), 0);
+                as.emit(uBlc(sa, sb));
+                as.emit(uWr(sa, USrc::Xor));
+                as.emit(uBlc(sa, bz));
+                as.emit(uWr(sa, USrc::And));
+                as.emit(uRdXReg(sa));
+                as.emit(uSimple(UKind::MaskFromXRegLsb));
+                as.condNegate(Q);
+            }
+        }
+        if (wrap) {
+            as.maskFromBit0(0);
+            as.copy(dst, result, true);
+        } else {
+            as.copy(dst, result);
+        }
+        return;
+      }
+
+      default:
+        panic("MacroLib: %s is not a VSU macro-op (handled by "
+              "VMU/VRU or the control path)",
+              std::string(opName(instr.op)).c_str());
+    }
+}
+
+} // namespace
+
+MacroBuild
+MacroLib::build(const Instr& instr) const
+{
+    MacroAsm as(cfg);
+    buildOne(as, instr);
+    return MacroBuild{std::move(as.prog), as.bitExact};
+}
+
+std::uint64_t
+MacroLib::cacheKey(const Instr& instr) const
+{
+    // Program length depends on opcode, masking, scalar form, the
+    // shift amount for immediate shifts, and operand aliasing.
+    std::uint64_t key = std::uint64_t(instr.op);
+    key = key * 2 + (instr.masked ? 1 : 0);
+    key = key * 2 + (instr.usesScalar ? 1 : 0);
+    key = key * 64 + (std::uint64_t(instr.imm) & 63);
+    const bool alias_a = instr.dst == instr.src1;
+    const bool alias_b = !instr.usesScalar && instr.dst == instr.src2;
+    key = key * 4 + (alias_a ? 2 : 0) + (alias_b ? 1 : 0);
+    return key;
+}
+
+Cycles
+MacroLib::cycles(const Instr& instr) const
+{
+    const std::uint64_t key = cacheKey(instr);
+    auto it = lengthCache.find(key);
+    if (it != lengthCache.end())
+        return it->second;
+    const Cycles len = build(instr).prog.size() + controlOverhead;
+    lengthCache.emplace(key, len);
+    return len;
+}
+
+} // namespace eve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The macro-operation library: micro-program generation for every
+ * supported vector instruction on an EVE-n SRAM (Section IV-B).
+ *
+ * Every vector instruction executed on EVE SRAMs is implemented as a
+ * micro-program over the Table II micro-ops. This library generates
+ * the fully unrolled program for a given instruction and EVE
+ * configuration; the program serves two purposes:
+ *
+ *  - its *length* is the instruction's compute latency in EVE cycles
+ *    (the VSU issues one micro-op tuple per cycle), and
+ *  - it *executes bit-accurately* on the EveSram functional model,
+ *    which the property tests cross-check against the plain-C++
+ *    VecMachine semantics.
+ *
+ * A few operations (vmulh, vid) are generated with representative
+ * timing but are not bit-exact through the micro-op path; they are
+ * flagged so tests and the SRAM-backed machine can treat them
+ * accordingly (see DESIGN.md).
+ *
+ * Scratch registers: macro-ops whose destination aliases a source, or
+ * that need intermediates (compares, min/max, mul, div), use a small
+ * scratch window above the 32 architectural registers. This models
+ * VSU-managed temporary rows; the timing impact is the extra
+ * micro-ops, which the generated programs include.
+ */
+
+#ifndef EVE_CORE_UPROG_MACRO_LIB_HH
+#define EVE_CORE_UPROG_MACRO_LIB_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "core/sram/eve_sram.hh"
+#include "isa/instr.hh"
+
+namespace eve
+{
+
+/** A generated micro-program plus its fidelity class. */
+struct MacroBuild
+{
+    MacroProgram prog;
+    bool bit_exact = true;  ///< executes exactly on EveSram
+};
+
+/** Generates and caches micro-programs per EVE-n configuration. */
+class MacroLib
+{
+  public:
+    explicit MacroLib(const EveSramConfig& config);
+
+    /** Build the full micro-program for @p instr. */
+    MacroBuild build(const Instr& instr) const;
+
+    /**
+     * Compute latency in EVE cycles of @p instr, including the fixed
+     * VSU sequencing overhead (micro-program fetch/setup). Cached.
+     */
+    Cycles cycles(const Instr& instr) const;
+
+    /** Segments per element for this configuration. */
+    unsigned segments() const { return segs; }
+
+    const EveSramConfig& config() const { return cfg; }
+
+    /**
+     * Fixed per-macro-op control overhead in cycles (counter
+     * initialization and micro-program dispatch; Section II notes
+     * latency is super-linear in 1/segments because of this).
+     */
+    static constexpr Cycles controlOverhead = 4;
+
+  private:
+    std::uint64_t cacheKey(const Instr& instr) const;
+
+    EveSramConfig cfg;
+    unsigned segs;
+    mutable std::unordered_map<std::uint64_t, Cycles> lengthCache;
+};
+
+} // namespace eve
+
+#endif // EVE_CORE_UPROG_MACRO_LIB_HH

@@ -1,0 +1,349 @@
+#include "core/uprog/sequencer.hh"
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+Uop
+Sequencer::resolve(const SeqArith& arith) const
+{
+    const unsigned segs = sram.segments();
+    unsigned seg = arith.fixedSeg;
+    CarryIn carry = arith.firstCarry;
+    if (arith.stepped) {
+        seg = counters.iteration(arith.stepCnt);
+        if (arith.reversed)
+            seg = segs - 1 - seg;
+        if (!counters.firstIteration(arith.stepCnt))
+            carry = CarryIn::Chain;
+    }
+    if (seg >= segs)
+        panic("Sequencer: stepped segment %u out of %u", seg, segs);
+
+    Uop u;
+    u.kind = arith.kind;
+    u.src = arith.src;
+    u.useMask = arith.useMask;
+    u.carry = carry;
+    u.data = arith.data;
+    u.rowA = arith.regA * segs + seg;
+    u.rowB = arith.regB * segs + seg;
+    return u;
+}
+
+Cycles
+Sequencer::run(const RomProgram& prog)
+{
+    Cycles cycles = 0;
+    std::size_t upc = 0;
+    const std::size_t guard = 10'000'000;
+
+    while (true) {
+        if (upc >= prog.tuples.size())
+            panic("Sequencer: upc %zu fell off program '%s'",
+                  upc, prog.name.c_str());
+        if (++cycles > guard)
+            panic("Sequencer: program '%s' exceeded %zu cycles",
+                  prog.name.c_str(), guard);
+
+        const Tuple& tuple = prog.tuples[upc];
+
+        // 1. Counter micro-op.
+        switch (tuple.cnt.kind) {
+          case CntOp::Kind::Init:
+            counters.init(tuple.cnt.cnt, tuple.cnt.val);
+            break;
+          case CntOp::Kind::Decr:
+            counters.decr(tuple.cnt.cnt);
+            break;
+          case CntOp::Kind::Incr:
+            counters.incr(tuple.cnt.cnt);
+            break;
+          case CntOp::Kind::None:
+            break;
+        }
+
+        // 2. Arithmetic micro-op.
+        if (tuple.arith.kind != UKind::Nop)
+            sram.exec(resolve(tuple.arith));
+
+        // 3. Control micro-op.
+        bool taken = false;
+        switch (tuple.ctl.kind) {
+          case CtlOp::Kind::None:
+            break;
+          case CtlOp::Kind::Jmp:
+            taken = true;
+            break;
+          case CtlOp::Kind::Bnz:
+            if (!counters.zeroFlag(tuple.ctl.cnt)) {
+                taken = true;
+            } else {
+                counters.clearZeroFlag(tuple.ctl.cnt);
+            }
+            break;
+          case CtlOp::Kind::Bnd:
+            if (counters.decadeFlag(tuple.ctl.cnt)) {
+                counters.clearDecadeFlag(tuple.ctl.cnt);
+                taken = true;
+            }
+            break;
+          case CtlOp::Kind::Ret:
+            return cycles;
+        }
+
+        upc = taken ? std::size_t(tuple.ctl.target) : upc + 1;
+    }
+}
+
+namespace
+{
+
+Tuple
+tInit(CounterId cnt, std::uint32_t val)
+{
+    Tuple t;
+    t.cnt.kind = CntOp::Kind::Init;
+    t.cnt.cnt = cnt;
+    t.cnt.val = val;
+    return t;
+}
+
+SeqArith
+stepArith(UKind kind, unsigned reg_a, unsigned reg_b, USrc src,
+          CounterId step, bool use_mask = false,
+          CarryIn first = CarryIn::Zero)
+{
+    SeqArith a;
+    a.kind = kind;
+    a.regA = std::uint8_t(reg_a);
+    a.regB = std::uint8_t(reg_b);
+    a.src = src;
+    a.useMask = use_mask;
+    a.firstCarry = first;
+    a.stepped = true;
+    a.stepCnt = step;
+    return a;
+}
+
+Tuple
+tDecrArith(CounterId cnt, const SeqArith& arith)
+{
+    Tuple t;
+    t.cnt.kind = CntOp::Kind::Decr;
+    t.cnt.cnt = cnt;
+    t.arith = arith;
+    return t;
+}
+
+Tuple
+tArithBnz(const SeqArith& arith, CounterId cnt, std::int32_t target)
+{
+    Tuple t;
+    t.arith = arith;
+    t.ctl.kind = CtlOp::Kind::Bnz;
+    t.ctl.cnt = cnt;
+    t.ctl.target = target;
+    return t;
+}
+
+Tuple
+tBnz(CounterId cnt, std::int32_t target)
+{
+    Tuple t;
+    t.ctl.kind = CtlOp::Kind::Bnz;
+    t.ctl.cnt = cnt;
+    t.ctl.target = target;
+    return t;
+}
+
+Tuple
+tRet()
+{
+    Tuple t;
+    t.ctl.kind = CtlOp::Kind::Ret;
+    return t;
+}
+
+SeqArith
+plainArith(UKind kind)
+{
+    SeqArith a;
+    a.kind = kind;
+    return a;
+}
+
+} // namespace
+
+RomProgram
+romAdd(const EveSram& sram, unsigned dst, unsigned a, unsigned b)
+{
+    const unsigned segs = sram.segments();
+    RomProgram prog;
+    prog.name = "add";
+    // Figure 4(a): a two-tuple count-down loop over segments with the
+    // carry chained through the spare-shifter flip-flop.
+    prog.tuples.push_back(tInit(CounterId::Seg0, segs));
+    prog.tuples.push_back(tDecrArith(
+        CounterId::Seg0,
+        stepArith(UKind::Blc, a, b, USrc::And, CounterId::Seg0)));
+    prog.tuples.push_back(tArithBnz(
+        stepArith(UKind::Wr, dst, 0, USrc::Add, CounterId::Seg0),
+        CounterId::Seg0, 1));
+    prog.tuples.push_back(tRet());
+    return prog;
+}
+
+RomProgram
+romMul(const EveSram& sram, unsigned dst, unsigned a, unsigned b,
+       unsigned scratch_m, unsigned scratch_acc)
+{
+    const unsigned segs = sram.segments();
+    const unsigned n = sram.config().pf;
+    RomProgram prog;
+    prog.name = "mul";
+    auto& t = prog.tuples;
+
+    // Copy multiplicand a into the shifting scratch register M.
+    t.push_back(tInit(CounterId::Seg0, segs));                      // 0
+    t.push_back(tDecrArith(
+        CounterId::Seg0,
+        stepArith(UKind::Blc, a, a, USrc::And, CounterId::Seg0)));  // 1
+    t.push_back(tArithBnz(
+        stepArith(UKind::Wr, scratch_m, 0, USrc::And, CounterId::Seg0),
+        CounterId::Seg0, 1));                                       // 2
+
+    // Zero the accumulator in a single-tuple loop.
+    t.push_back(tInit(CounterId::Seg0, segs));                      // 3
+    {
+        Tuple zt = tDecrArith(
+            CounterId::Seg0,
+            stepArith(UKind::Wr, scratch_acc, 0, USrc::DataIn,
+                      CounterId::Seg0));
+        zt.ctl.kind = CtlOp::Kind::Bnz;
+        zt.ctl.cnt = CounterId::Seg0;
+        zt.ctl.target = 4;
+        t.push_back(zt);                                            // 4
+    }
+
+    // Outer loop over multiplier segments (Figure 4(b) "iter").
+    t.push_back(tInit(CounterId::Seg1, segs));                      // 5
+    const std::int32_t outer = 6;
+    t.push_back(tDecrArith(
+        CounterId::Seg1,
+        stepArith(UKind::RdXReg, b, 0, USrc::And, CounterId::Seg1))); // 6
+    t.push_back(tInit(CounterId::Bit0, n));                         // 7
+    const std::int32_t inner = 8;
+    t.push_back(tDecrArith(CounterId::Bit0,
+                           plainArith(UKind::MaskFromXRegLsb)));    // 8
+
+    // Predicated accumulation (inner add loop, "iter_add").
+    t.push_back(tInit(CounterId::Seg2, segs));                      // 9
+    const std::int32_t addl = 10;
+    t.push_back(tDecrArith(
+        CounterId::Seg2,
+        stepArith(UKind::Blc, scratch_acc, scratch_m, USrc::And,
+                  CounterId::Seg2)));                               // 10
+    t.push_back(tArithBnz(
+        stepArith(UKind::Wr, scratch_acc, 0, USrc::Add,
+                  CounterId::Seg2, true),
+        CounterId::Seg2, addl));                                    // 11
+
+    // Advance to the next multiplier bit.
+    {
+        Tuple mt;
+        mt.arith = plainArith(UKind::MaskShift);
+        t.push_back(mt);                                            // 12
+    }
+
+    // Shift the multiplicand left one bit across all segments.
+    {
+        Tuple ct = tInit(CounterId::Seg3, segs);
+        ct.arith = plainArith(UKind::ClearLink);
+        t.push_back(ct);                                            // 13
+    }
+    const std::int32_t shl = 14;
+    t.push_back(tDecrArith(
+        CounterId::Seg3,
+        stepArith(UKind::RdCShift, scratch_m, 0, USrc::And,
+                  CounterId::Seg3)));                               // 14
+    {
+        Tuple st;
+        st.arith = plainArith(UKind::LShift);
+        t.push_back(st);                                            // 15
+    }
+    t.push_back(tArithBnz(
+        stepArith(UKind::Wr, scratch_m, 0, USrc::Shift,
+                  CounterId::Seg3),
+        CounterId::Seg3, shl));                                     // 16
+
+    t.push_back(tBnz(CounterId::Bit0, inner));                      // 17
+    t.push_back(tBnz(CounterId::Seg1, outer));                      // 18
+
+    // Copy the accumulator into the destination.
+    t.push_back(tInit(CounterId::Seg0, segs));                      // 19
+    t.push_back(tDecrArith(
+        CounterId::Seg0,
+        stepArith(UKind::Blc, scratch_acc, scratch_acc, USrc::And,
+                  CounterId::Seg0)));                               // 20
+    t.push_back(tArithBnz(
+        stepArith(UKind::Wr, dst, 0, USrc::And, CounterId::Seg0),
+        CounterId::Seg0, 20));                                      // 21
+    t.push_back(tRet());                                            // 22
+    return prog;
+}
+
+RomProgram
+romSub(const EveSram& sram, unsigned dst, unsigned a, unsigned b,
+       unsigned scratch)
+{
+    const unsigned segs = sram.segments();
+    RomProgram prog;
+    prog.name = "sub";
+    auto& t = prog.tuples;
+    // t = ~b (two-tuple loop), then dst = a + t + 1 (carry seeded 1).
+    t.push_back(tInit(CounterId::Seg0, segs));                      // 0
+    t.push_back(tDecrArith(
+        CounterId::Seg0,
+        stepArith(UKind::Blc, b, b, USrc::And, CounterId::Seg0)));  // 1
+    t.push_back(tArithBnz(
+        stepArith(UKind::Wr, scratch, 0, USrc::Nand, CounterId::Seg0),
+        CounterId::Seg0, 1));                                       // 2
+    t.push_back(tInit(CounterId::Seg0, segs));                      // 3
+    t.push_back(tDecrArith(
+        CounterId::Seg0,
+        stepArith(UKind::Blc, a, scratch, USrc::And, CounterId::Seg0,
+                  false, CarryIn::One)));                           // 4
+    t.push_back(tArithBnz(
+        stepArith(UKind::Wr, dst, 0, USrc::Add, CounterId::Seg0),
+        CounterId::Seg0, 4));                                       // 5
+    t.push_back(tRet());                                            // 6
+    return prog;
+}
+
+RomProgram
+romLogic(const EveSram& sram, USrc fn, unsigned dst, unsigned a,
+         unsigned b)
+{
+    const unsigned segs = sram.segments();
+    RomProgram prog;
+    prog.name = "logic";
+    prog.tuples.push_back(tInit(CounterId::Seg0, segs));
+    prog.tuples.push_back(tDecrArith(
+        CounterId::Seg0,
+        stepArith(UKind::Blc, a, b, USrc::And, CounterId::Seg0)));
+    prog.tuples.push_back(tArithBnz(
+        stepArith(UKind::Wr, dst, 0, fn, CounterId::Seg0),
+        CounterId::Seg0, 1));
+    prog.tuples.push_back(tRet());
+    return prog;
+}
+
+RomProgram
+romCopy(const EveSram& sram, unsigned dst, unsigned src)
+{
+    return romLogic(sram, USrc::And, dst, src, src);
+}
+
+} // namespace eve

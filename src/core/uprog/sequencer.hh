@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The VLIW micro-sequencer: the looped, counter-driven encoding of
+ * micro-programs used by the VSU ROM (Section IV-B and Figure 4).
+ *
+ * Each ROM entry is a sequence of tuples; a tuple packs one counter
+ * micro-op, one arithmetic micro-op, and one control micro-op,
+ * executed in that order, one tuple per cycle. Row addresses of
+ * arithmetic micro-ops can be stepped by a counter's iteration index
+ * so that a two-tuple loop implements a whole multi-segment add
+ * (Figure 4a).
+ *
+ * This layer exists for fidelity to the paper's encoding: the engine
+ * timing model uses the unrolled MacroLib programs, and tests verify
+ * the two representations agree in both results and cycle counts.
+ */
+
+#ifndef EVE_CORE_UPROG_SEQUENCER_HH
+#define EVE_CORE_UPROG_SEQUENCER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/sram/eve_sram.hh"
+#include "core/uprog/counters.hh"
+#include "core/uprog/uop.hh"
+
+namespace eve
+{
+
+/** Counter micro-op slot of a tuple. */
+struct CntOp
+{
+    enum class Kind : std::uint8_t { None, Init, Decr, Incr };
+
+    Kind kind = Kind::None;
+    CounterId cnt = CounterId::Seg0;
+    std::uint32_t val = 0;  ///< for Init
+};
+
+/** Control micro-op slot of a tuple. */
+struct CtlOp
+{
+    enum class Kind : std::uint8_t { None, Bnz, Bnd, Jmp, Ret };
+
+    Kind kind = Kind::None;
+    CounterId cnt = CounterId::Seg0;
+    std::int32_t target = 0;  ///< tuple index to branch to
+};
+
+/**
+ * Arithmetic micro-op slot with counter-stepped row addressing.
+ *
+ * The row of operand X is rowOf(regX, seg) where seg is either fixed
+ * or derived from a counter's iteration index (optionally reversed,
+ * for MSB-first walks). The carry of a Blc is CarryIn::Chain except
+ * on the first iteration of the stepping counter, where it is
+ * firstCarry — this reproduces carry seeding without an extra tuple.
+ */
+struct SeqArith
+{
+    UKind kind = UKind::Nop;
+    std::uint8_t regA = 0;
+    std::uint8_t regB = 0;
+    USrc src = USrc::And;
+    bool useMask = false;
+    CarryIn firstCarry = CarryIn::Zero;
+    bool stepped = false;      ///< row stepped by a counter
+    CounterId stepCnt = CounterId::Seg0;
+    bool reversed = false;     ///< walk segments MSB-first
+    std::uint32_t fixedSeg = 0;
+    std::uint32_t data = 0;
+};
+
+/** One VLIW tuple. */
+struct Tuple
+{
+    CntOp cnt;
+    SeqArith arith;
+    CtlOp ctl;
+};
+
+/** A ROM entry. */
+struct RomProgram
+{
+    std::string name;
+    std::vector<Tuple> tuples;
+};
+
+/** Executes ROM programs against an EveSram, counting cycles. */
+class Sequencer
+{
+  public:
+    explicit Sequencer(EveSram& sram) : sram(sram) {}
+
+    /**
+     * Run @p prog to its ret micro-op.
+     * @return cycles consumed (tuples executed).
+     */
+    Cycles run(const RomProgram& prog);
+
+    CounterFile& counterFile() { return counters; }
+
+  private:
+    Uop resolve(const SeqArith& arith) const;
+
+    EveSram& sram;
+    CounterFile counters;
+};
+
+/**
+ * ROM programs reproducing Figure 4 for a given configuration.
+ * @{
+ */
+RomProgram romAdd(const EveSram& sram, unsigned dst, unsigned a,
+                  unsigned b);
+RomProgram romMul(const EveSram& sram, unsigned dst, unsigned a,
+                  unsigned b, unsigned scratch_m, unsigned scratch_acc);
+RomProgram romSub(const EveSram& sram, unsigned dst, unsigned a,
+                  unsigned b, unsigned scratch);
+RomProgram romLogic(const EveSram& sram, USrc fn, unsigned dst,
+                    unsigned a, unsigned b);
+RomProgram romCopy(const EveSram& sram, unsigned dst, unsigned src);
+/** @} */
+
+} // namespace eve
+
+#endif // EVE_CORE_UPROG_SEQUENCER_HH

@@ -1,0 +1,90 @@
+#include "core/uprog/uop.hh"
+
+#include <sstream>
+
+namespace eve
+{
+
+namespace
+{
+
+const char*
+srcName(USrc src)
+{
+    switch (src) {
+      case USrc::And: return "and";
+      case USrc::Nand: return "nand";
+      case USrc::Or: return "or";
+      case USrc::Nor: return "nor";
+      case USrc::Xor: return "xor";
+      case USrc::Xnor: return "xnor";
+      case USrc::Add: return "add";
+      case USrc::Shift: return "shift";
+      case USrc::DataIn: return "data_in";
+      case USrc::MaskLsb: return "mask_lsb";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+std::string
+uopToString(const Uop& uop)
+{
+    std::ostringstream os;
+    switch (uop.kind) {
+      case UKind::Nop:
+        os << "nop";
+        break;
+      case UKind::Blc:
+        os << "blc r" << uop.rowA << ", r" << uop.rowB;
+        if (uop.carry == CarryIn::One)
+            os << ", ci=1";
+        else if (uop.carry == CarryIn::Chain)
+            os << ", ci=chain";
+        break;
+      case UKind::Wr:
+        os << "wr r" << uop.rowA << ", " << srcName(uop.src);
+        if (uop.src == USrc::DataIn)
+            os << "(0x" << std::hex << uop.data << std::dec << ")";
+        if (uop.useMask)
+            os << ", m";
+        break;
+      case UKind::RdCShift:
+        os << "rd r" << uop.rowA << ", cshift";
+        break;
+      case UKind::RdXReg:
+        os << "rd r" << uop.rowA << ", xreg";
+        break;
+      case UKind::LShift:
+        os << (uop.useMask ? "lshft, m" : "lshft");
+        break;
+      case UKind::RShift:
+        os << (uop.useMask ? "rshft, m" : "rshft");
+        break;
+      case UKind::MaskShift:
+        os << "m_shft";
+        break;
+      case UKind::MaskFromXRegLsb:
+        os << "mask <- xreg.lsb";
+        break;
+      case UKind::MaskFromXRegMsb:
+        os << "mask <- xreg.msb";
+        break;
+      case UKind::MaskSetAll:
+        os << "mask <- 1";
+        break;
+      case UKind::MaskInvert:
+        os << "mask <- ~mask";
+        break;
+      case UKind::MaskFromCarry:
+        os << "mask <- carry";
+        break;
+      case UKind::ClearLink:
+        os << "link <- 0";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace eve

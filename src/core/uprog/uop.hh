@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Micro-operations executed by EVE SRAMs (Table II of the paper).
+ *
+ * Two representations exist in this code base:
+ *
+ *  1. The *unrolled* MacroProgram: a linear list of concrete Uops with
+ *     resolved row addresses. The macro-op library (macro_lib.hh)
+ *     generates one per (vector instruction, EVE-n); its length is the
+ *     instruction's compute latency in EVE cycles and it executes
+ *     bit-accurately on an EveSram.
+ *
+ *  2. The *looped* VLIW tuple form with counters and control microops
+ *     (sequencer.hh), reproducing the paper's Figure 4 encoding. The
+ *     two forms are cross-checked in tests.
+ *
+ * Every Uop takes exactly one EVE cycle.
+ */
+
+#ifndef EVE_CORE_UPROG_UOP_HH
+#define EVE_CORE_UPROG_UOP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eve
+{
+
+/** Writeback sources: outputs of the peripheral circuit stacks. */
+enum class USrc : std::uint8_t
+{
+    And,      ///< sense-amp and
+    Nand,     ///< sense-amp nand
+    Or,       ///< sense-amp or
+    Nor,      ///< sense-amp nor
+    Xor,      ///< XOR/XNOR logic
+    Xnor,     ///< XOR/XNOR logic
+    Add,      ///< add logic (Manchester carry chain)
+    Shift,    ///< constant shifter contents
+    DataIn,   ///< external data port (broadcast per-lane segment)
+    MaskLsb,  ///< mask bit into the lane's LSB column (compares)
+};
+
+/** Micro-operation kinds. */
+enum class UKind : std::uint8_t
+{
+    Nop,
+    Blc,             ///< dual-wordline bit-line compute of rowA, rowB
+    Wr,              ///< write a source into rowA (optionally masked)
+    RdCShift,        ///< read rowA into the constant shifter
+    RdXReg,          ///< read rowA into the XRegister
+    LShift,          ///< constant shifter << 1 (link via spare shifter)
+    RShift,          ///< constant shifter >> 1 (link via spare shifter)
+    MaskShift,       ///< XRegister >> 1 within each lane
+    MaskFromXRegLsb, ///< mask <- broadcast of XRegister LSB column
+    MaskFromXRegMsb, ///< mask <- broadcast of XRegister MSB column
+    MaskSetAll,      ///< mask <- 1 everywhere
+    MaskInvert,      ///< mask <- ~mask
+    MaskFromCarry,   ///< mask <- broadcast of the lane's carry FF
+    ClearLink,       ///< clear the spare-shifter link flip-flops
+};
+
+/** Carry-in selection for Blc (add logic). */
+enum class CarryIn : std::uint8_t
+{
+    Zero,  ///< start a new chain with carry-in 0
+    One,   ///< start a new chain with carry-in 1 (subtraction)
+    Chain, ///< use the carry saved by the previous Add writeback
+};
+
+/** One micro-operation. */
+struct Uop
+{
+    UKind kind = UKind::Nop;
+    std::uint32_t rowA = 0;
+    std::uint32_t rowB = 0;
+    USrc src = USrc::And;
+    bool useMask = false;       ///< predicate writes/shifts on mask
+    CarryIn carry = CarryIn::Zero;
+    std::uint32_t data = 0;     ///< segment value for USrc::DataIn
+};
+
+/** A fully unrolled micro-program. */
+using MacroProgram = std::vector<Uop>;
+
+/** Render a micro-op for debugging. */
+std::string uopToString(const Uop& uop);
+
+// ----- Convenience constructors -------------------------------------
+
+inline Uop
+uBlc(std::uint32_t row_a, std::uint32_t row_b,
+     CarryIn carry = CarryIn::Zero)
+{
+    Uop u;
+    u.kind = UKind::Blc;
+    u.rowA = row_a;
+    u.rowB = row_b;
+    u.carry = carry;
+    return u;
+}
+
+inline Uop
+uWr(std::uint32_t row, USrc src, bool use_mask = false,
+    std::uint32_t data = 0)
+{
+    Uop u;
+    u.kind = UKind::Wr;
+    u.rowA = row;
+    u.src = src;
+    u.useMask = use_mask;
+    u.data = data;
+    return u;
+}
+
+inline Uop
+uRdCShift(std::uint32_t row)
+{
+    Uop u;
+    u.kind = UKind::RdCShift;
+    u.rowA = row;
+    return u;
+}
+
+inline Uop
+uRdXReg(std::uint32_t row)
+{
+    Uop u;
+    u.kind = UKind::RdXReg;
+    u.rowA = row;
+    return u;
+}
+
+inline Uop
+uSimple(UKind kind, bool use_mask = false)
+{
+    Uop u;
+    u.kind = kind;
+    u.useMask = use_mask;
+    return u;
+}
+
+} // namespace eve
+
+#endif // EVE_CORE_UPROG_UOP_HH

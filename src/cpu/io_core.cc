@@ -1,0 +1,69 @@
+#include <algorithm>
+
+#include "cpu/io_core.hh"
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+IOCore::IOCore(const IOCoreParams& params, MemHierarchy& mem)
+    : params(params),
+      mem(mem),
+      clock(params.clock_ns),
+      storeBuffer(params.store_buffer),
+      statGroup("io")
+{
+}
+
+void
+IOCore::consume(const Instr& instr)
+{
+    if (isVectorOp(instr.op))
+        panic("IOCore: vector instruction %s in a scalar trace",
+              std::string(opName(instr.op)).c_str());
+
+    statGroup.add("instrs", 1);
+    now += clock.period();
+
+    switch (opClass(instr.op)) {
+      case OpClass::ScalarAlu:
+        break;
+      case OpClass::ScalarMul:
+        now += clock.toTicks(params.mul_latency - 1);
+        break;
+      case OpClass::ScalarBranch:
+        now += clock.toTicks(params.branch_penalty);
+        break;
+      case OpClass::ScalarLoad: {
+        const Tick done = mem.l1d().access(instr.addr, false, now);
+        statGroup.add("load_stall_ticks", double(done - now));
+        now = done;
+        break;
+      }
+      case OpClass::ScalarStore: {
+        // Stores retire through the store buffer; the core only
+        // stalls when the buffer is full.
+        Tick done = 0;
+        const Tick grant = storeBuffer.acquire(now, [&](Tick g) {
+            done = mem.l1d().access(instr.addr, true, g);
+            return done;
+        });
+        statGroup.add("store_stall_ticks", double(grant - now));
+        now = grant;
+        lastStoreDone = std::max(lastStoreDone, done);
+        break;
+      }
+      default:
+        panic("IOCore: unexpected op class");
+    }
+}
+
+void
+IOCore::finish()
+{
+    now = std::max(now, lastStoreDone);
+    statGroup.set("cycles", double(now) / clock.period());
+}
+
+} // namespace eve

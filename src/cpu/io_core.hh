@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Single-issue in-order core timing model (the "IO" baseline of
+ * Table III).
+ *
+ * One instruction per cycle; loads block until the L1D returns
+ * (classic in-order load-to-use serialization); stores drain through
+ * a small store buffer; taken loop branches cost one redirect cycle.
+ */
+
+#ifndef EVE_CPU_IO_CORE_HH
+#define EVE_CPU_IO_CORE_HH
+
+#include "cpu/timing_model.hh"
+#include "mem/hierarchy.hh"
+#include "sim/resource.hh"
+
+namespace eve
+{
+
+/** Configuration of the in-order core. */
+struct IOCoreParams
+{
+    double clock_ns = 1.025;
+    Cycles mul_latency = 3;      ///< serial multiply/divide cost
+    Cycles branch_penalty = 1;   ///< taken-branch redirect bubble
+    unsigned store_buffer = 8;
+};
+
+/** The in-order core. */
+class IOCore : public TimingModel
+{
+  public:
+    IOCore(const IOCoreParams& params, MemHierarchy& mem);
+
+    void consume(const Instr& instr) override;
+    void finish() override;
+    Tick finalTick() const override { return now; }
+    StatGroup& stats() override { return statGroup; }
+    double clockNs() const override { return clock.periodNs(); }
+
+  private:
+    IOCoreParams params;
+    MemHierarchy& mem;
+    ClockDomain clock;
+    Tick now = 0;
+    Tick lastStoreDone = 0;
+    TokenPool storeBuffer;
+    StatGroup statGroup;
+};
+
+} // namespace eve
+
+#endif // EVE_CPU_IO_CORE_HH

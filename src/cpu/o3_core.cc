@@ -1,0 +1,135 @@
+#include <algorithm>
+
+#include "cpu/o3_core.hh"
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+O3Core::O3Core(const O3CoreParams& params, MemHierarchy& mem)
+    : params(params),
+      mem(mem),
+      clock(params.clock_ns),
+      slotPeriod(std::max<Tick>(clock.period() / params.width, 1)),
+      lsq(params.lsq),
+      statGroup("o3")
+{
+}
+
+Tick
+O3Core::dispatchSlot()
+{
+    Tick slot = lastSlot + slotPeriod;
+    // A full reorder buffer stalls dispatch until the head retires
+    // (in program order).
+    if (rob.size() >= params.rob) {
+        const Tick head = rob.front();
+        rob.pop_front();
+        if (head > slot) {
+            statGroup.add("rob_stall_ticks", double(head - slot));
+            slot = head;
+        }
+    }
+    lastSlot = slot;
+    return slot;
+}
+
+void
+O3Core::consume(const Instr& instr)
+{
+    if (isVectorOp(instr.op))
+        panic("O3Core: vector instruction %s reached the scalar core",
+              std::string(opName(instr.op)).c_str());
+
+    statGroup.add("instrs", 1);
+    const Tick slot = dispatchSlot();
+    Tick issue = std::max({slot, regReady[instr.src1],
+                           regReady[instr.src2]});
+    Tick done;
+
+    switch (opClass(instr.op)) {
+      case OpClass::ScalarAlu:
+      case OpClass::ScalarBranch:
+        done = issue + clock.period();
+        break;
+      case OpClass::ScalarMul:
+        done = issue + clock.toTicks(params.mul_latency);
+        break;
+      case OpClass::ScalarLoad: {
+        Tick completion = 0;
+        const Tick grant = lsq.acquire(issue, [&](Tick g) {
+            completion = mem.l1d().access(instr.addr, false, g);
+            return completion;
+        });
+        statGroup.add("lsq_stall_ticks", double(grant - issue));
+        done = completion;
+        break;
+      }
+      case OpClass::ScalarStore:
+        // Stores complete at issue from the window's perspective and
+        // drain to the L1D afterwards.
+        done = issue + clock.period();
+        lastStoreDone = std::max(
+            lastStoreDone, mem.l1d().access(instr.addr, true, done));
+        break;
+      default:
+        panic("O3Core: unexpected op class");
+    }
+
+    if (instr.dst != 0)
+        regReady[instr.dst] = done;
+    rob.push_back(done);
+    inOrderDone = std::max(inOrderDone, done);
+}
+
+Tick
+O3Core::dispatchVector(const Instr& instr)
+{
+    (void)instr;
+    statGroup.add("vector_dispatches", 1);
+    const Tick slot = dispatchSlot();
+    // The instruction is sent to the engine once it is the oldest and
+    // ready to commit (EVE does not support precise exceptions).
+    const Tick commit = std::max(slot, inOrderDone) + clock.period();
+    rob.push_back(commit);
+    inOrderDone = std::max(inOrderDone, commit);
+    return commit;
+}
+
+void
+O3Core::stallCommit(Tick until)
+{
+    if (until > inOrderDone) {
+        statGroup.add("commit_stall_ticks", double(until - inOrderDone));
+        inOrderDone = until;
+    }
+    lastSlot = std::max(lastSlot, until);
+}
+
+Tick
+O3Core::takeSlot()
+{
+    return dispatchSlot();
+}
+
+void
+O3Core::recordCompletion(Tick done)
+{
+    rob.push_back(done);
+    inOrderDone = std::max(inOrderDone, done);
+}
+
+void
+O3Core::finish()
+{
+    statGroup.set("cycles", double(finalTick()) / clock.period());
+}
+
+Tick
+O3Core::finalTick() const
+{
+    return std::max({inOrderDone, lastStoreDone, lastSlot});
+}
+
+} // namespace eve

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Out-of-order core timing model (the "O3" baseline of Table III and
+ * the control processor of every vector system).
+ *
+ * Finite-window dataflow approximation: instructions dispatch at a
+ * fixed width, issue when their source registers are ready, and
+ * retire in order through a reorder buffer whose occupancy stalls
+ * dispatch. Loads go through an LSQ and the L1D model (which applies
+ * MSHR-limited miss parallelism); stores drain after issue without
+ * blocking. Branches are assumed predicted (the traced kernels are
+ * loop-dominated).
+ *
+ * Vector systems use two hooks: dispatchVector() accounts a dispatch
+ * slot + in-order commit for a vector instruction and returns the
+ * tick at which it is handed to the engine (EVE and DV receive
+ * vector instructions at commit; the paper's Section V-A), and
+ * stallCommit() models instructions that block commit awaiting an
+ * engine response (vmv.x.s, vmfence).
+ */
+
+#ifndef EVE_CPU_O3_CORE_HH
+#define EVE_CPU_O3_CORE_HH
+
+#include <array>
+#include <deque>
+
+#include "cpu/timing_model.hh"
+#include "mem/hierarchy.hh"
+#include "sim/resource.hh"
+
+namespace eve
+{
+
+/** Configuration of the out-of-order core. */
+struct O3CoreParams
+{
+    double clock_ns = 1.025;
+    unsigned width = 8;        ///< dispatch/commit width
+    unsigned rob = 192;
+    unsigned lsq = 32;
+    Cycles mul_latency = 4;
+};
+
+/** The out-of-order core. */
+class O3Core : public TimingModel
+{
+  public:
+    O3Core(const O3CoreParams& params, MemHierarchy& mem);
+
+    void consume(const Instr& instr) override;
+    void finish() override;
+    Tick finalTick() const override;
+    StatGroup& stats() override { return statGroup; }
+    double clockNs() const override { return clock.periodNs(); }
+
+    /**
+     * Account a dispatch slot and in-order commit for one vector
+     * instruction; returns its commit tick (when the engine may
+     * receive it).
+     */
+    Tick dispatchVector(const Instr& instr);
+
+    /** Block commit (and thus further progress) until @p until. */
+    void stallCommit(Tick until);
+
+    /**
+     * Take a dispatch slot for an engine-side micro-op (IV-style
+     * integrated execution); returns the slot tick.
+     */
+    Tick takeSlot();
+
+    /** Record an out-of-band completion in the window. */
+    void recordCompletion(Tick done);
+
+    const ClockDomain& clockDomain() const { return clock; }
+
+  private:
+    Tick dispatchSlot();
+
+    O3CoreParams params;
+    MemHierarchy& mem;
+    ClockDomain clock;
+    Tick slotPeriod;
+
+    Tick lastSlot = 0;
+    Tick inOrderDone = 0;   ///< running max of completions (commit)
+    Tick lastStoreDone = 0;
+    std::array<Tick, 64> regReady{};
+    std::deque<Tick> rob;
+    TokenPool lsq;
+    StatGroup statGroup;
+};
+
+} // namespace eve
+
+#endif // EVE_CPU_O3_CORE_HH

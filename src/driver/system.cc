@@ -1,0 +1,228 @@
+#include "driver/system.hh"
+
+#include "analytic/circuits.hh"
+#include "common/log.hh"
+#include "cpu/io_core.hh"
+#include "isa/program.hh"
+#include "cpu/o3_core.hh"
+#include "vector/dv_engine.hh"
+#include "vector/iv_engine.hh"
+
+namespace eve
+{
+
+std::string
+systemName(const SystemConfig& config)
+{
+    switch (config.kind) {
+      case SystemKind::IO: return "IO";
+      case SystemKind::O3: return "O3";
+      case SystemKind::O3IV: return "O3+IV";
+      case SystemKind::O3DV: return "O3+DV";
+      case SystemKind::O3EVE:
+        return "O3+EVE-" + std::to_string(config.eve_pf);
+    }
+    return "?";
+}
+
+HierarchyParams
+System::hierarchyParams(const SystemConfig& config)
+{
+    HierarchyParams hp;
+    hp.llc_mshrs = config.llc_mshrs;
+    hp.l2_mshrs = config.l2_mshrs;
+    hp.llc_prefetch_lines = config.llc_prefetch_lines;
+    if (config.kind == SystemKind::O3EVE) {
+        hp.clock_ns = CircuitModel::cycleTimeNs(config.eve_pf);
+        hp.l2_vector_mode = true;
+    }
+    return hp;
+}
+
+System::System(const SystemConfig& config) : cfg(config)
+{
+    hierarchy = std::make_unique<MemHierarchy>(hierarchyParams(config));
+    buildModel();
+}
+
+System::System(const SystemConfig& config, SharedUncore& uncore)
+    : cfg(config)
+{
+    hierarchy = std::make_unique<MemHierarchy>(
+        hierarchyParams(config), uncore.llc(), uncore.dram());
+    buildModel();
+}
+
+void
+System::buildModel()
+{
+    const SystemConfig& config = cfg;
+    switch (config.kind) {
+      case SystemKind::IO: {
+        IOCoreParams p;
+        model = std::make_unique<IOCore>(p, *hierarchy);
+        break;
+      }
+      case SystemKind::O3: {
+        O3CoreParams p;
+        model = std::make_unique<O3Core>(p, *hierarchy);
+        break;
+      }
+      case SystemKind::O3IV: {
+        IVParams p;
+        model = std::make_unique<IVSystem>(p, *hierarchy);
+        break;
+      }
+      case SystemKind::O3DV: {
+        DVParams p;
+        model = std::make_unique<DVSystem>(p, *hierarchy);
+        break;
+      }
+      case SystemKind::O3EVE: {
+        EveParams p;
+        p.pf = config.eve_pf;
+        p.dtus = config.dtus;
+        p.spawn_ready = config.spawn_ready;
+        auto sys = std::make_unique<EveSystem>(p, *hierarchy);
+        eve = sys.get();
+        model = std::move(sys);
+        break;
+      }
+    }
+}
+
+System::~System() = default;
+
+std::uint32_t
+System::hwVectorLength() const
+{
+    switch (cfg.kind) {
+      case SystemKind::IO:
+      case SystemKind::O3:
+        return 0;
+      case SystemKind::O3IV:
+        return 4;
+      case SystemKind::O3DV:
+        return 64;
+      case SystemKind::O3EVE:
+        return eve->hwVectorLength();
+    }
+    return 0;
+}
+
+namespace
+{
+
+/** Rebases memory addresses before they reach a timing model. */
+class AddrBiasSink : public InstrSink
+{
+  public:
+    AddrBiasSink(InstrSink& inner, Addr bias)
+        : inner(inner), bias(bias)
+    {
+    }
+
+    void
+    consume(const Instr& instr) override
+    {
+        if (isMemOp(instr.op)) {
+            Instr biased = instr;
+            biased.addr += bias;
+            inner.consume(biased);
+        } else {
+            inner.consume(instr);
+        }
+    }
+
+  private:
+    InstrSink& inner;
+    Addr bias;
+};
+
+} // namespace
+
+RunResult
+System::run(Workload& workload)
+{
+    workload.init();
+
+    RunResult result;
+    result.system = systemName(cfg);
+    result.workload = workload.name();
+
+    CountingSink counter;
+    Characterizer characterizer;
+    AddrBiasSink biased_model(*model, addrBias);
+    const std::uint32_t hw_vl = hwVectorLength();
+    if (hw_vl == 0) {
+        TeeSink tee;
+        tee.attach(&counter);
+        tee.attach(&characterizer);
+        tee.attach(&biased_model);
+        workload.emitScalar(tee);
+        result.mismatches = 0;  // scalar path is timing-only
+    } else {
+        VecMachine machine(workload.memory(), hw_vl);
+        TeeSink tee;
+        tee.attach(&counter);
+        tee.attach(&characterizer);
+        tee.attach(&machine);  // functional execution first
+        tee.attach(&biased_model);
+        workload.emitVector(tee, hw_vl);
+        result.mismatches = workload.verify();
+    }
+    model->finish();
+
+    result.instrs = counter.total;
+    result.vecInstrs = characterizer.vecInstrs;
+    result.vecElemOps = characterizer.vecOps;
+    auto collect = [&](StatGroup& group) {
+        for (const auto& [stat, value] : group.sorted())
+            result.stats[group.name() + "." + stat] = value;
+    };
+    collect(model->stats());
+    collect(hierarchy->l1i().stats());
+    collect(hierarchy->l1d().stats());
+    collect(hierarchy->l2().stats());
+    collect(hierarchy->llc().stats());
+    collect(hierarchy->dram().stats());
+    result.total_ticks = double(model->finalTick());
+    result.cycles = result.total_ticks /
+                    (model->clockNs() * ticksPerNs);
+    result.seconds = result.total_ticks / (ticksPerNs * 1e9);
+    if (eve) {
+        result.has_breakdown = true;
+        result.breakdown = eve->breakdown();
+        result.vmu_cache_stall_ticks = eve->vmuCacheStallTicks();
+    }
+    if (result.mismatches)
+        warn("%s on %s: %llu functional mismatches",
+             result.workload.c_str(), result.system.c_str(),
+             (unsigned long long)result.mismatches);
+    return result;
+}
+
+RunResult
+runWorkload(const SystemConfig& config, Workload& workload)
+{
+    System system(config);
+    return system.run(workload);
+}
+
+std::pair<RunResult, RunResult>
+runCmpPair(const SystemConfig& cfg_a, Workload& workload_a,
+           const SystemConfig& cfg_b, Workload& workload_b)
+{
+    HierarchyParams shared = System::hierarchyParams(cfg_a);
+    shared.clock_ns = 1.025;  // the uncore runs at the baseline clock
+    SharedUncore uncore(shared);
+    System core_a(cfg_a, uncore);
+    System core_b(cfg_b, uncore);
+    // Disjoint physical footprints in the shared LLC.
+    core_b.setAddressBias(Addr{1} << 32);
+    RunResult a = core_a.run(workload_a);
+    RunResult b = core_b.run(workload_b);
+    return {std::move(a), std::move(b)};
+}
+
+} // namespace eve

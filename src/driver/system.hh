@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Top-level driver: assemble any Table III system configuration, run
+ * a workload through it (with the functional vector machine attached,
+ * so every timing run is also verified), and collect results.
+ */
+
+#ifndef EVE_DRIVER_SYSTEM_HH
+#define EVE_DRIVER_SYSTEM_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/engine/eve_engine.hh"
+#include "cpu/timing_model.hh"
+#include "mem/hierarchy.hh"
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** Which Table III system to simulate. */
+enum class SystemKind
+{
+    IO,    ///< in-order scalar
+    O3,    ///< out-of-order scalar
+    O3IV,  ///< O3 + integrated vector unit
+    O3DV,  ///< O3 + decoupled vector engine
+    O3EVE, ///< O3 + EVE-n
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    SystemKind kind = SystemKind::O3;
+    unsigned eve_pf = 8;       ///< EVE parallelization factor
+    unsigned llc_mshrs = 32;
+    unsigned l2_mshrs = 32;
+    unsigned llc_prefetch_lines = 0;  ///< LLC stream prefetcher depth
+    unsigned dtus = 8;
+    Tick spawn_ready = 0;      ///< EVE spawn completion tick
+};
+
+/** Human-readable system name ("O3+EVE-8"). */
+std::string systemName(const SystemConfig& config);
+
+/** Result of one (system, workload) simulation. */
+struct RunResult
+{
+    std::string system;
+    std::string workload;
+    double cycles = 0;        ///< core clock cycles
+    double seconds = 0;       ///< wall-clock simulated time
+    std::uint64_t instrs = 0; ///< dynamic instructions consumed
+    std::uint64_t mismatches = 0;  ///< functional check (0 = pass)
+    bool has_breakdown = false;
+    EveBreakdown breakdown;   ///< EVE execution categories (ticks)
+    double vmu_cache_stall_ticks = 0;
+    double total_ticks = 0;
+
+    std::uint64_t vecInstrs = 0;   ///< dynamic vector instructions
+    std::uint64_t vecElemOps = 0;  ///< vector element operations
+
+    /** Flattened "<group>.<stat>" counters from every component. */
+    std::map<std::string, double> stats;
+
+    double stat(const std::string& key) const
+    {
+        auto it = stats.find(key);
+        return it == stats.end() ? 0.0 : it->second;
+    }
+};
+
+/** One assembled system. */
+class System
+{
+  public:
+    explicit System(const SystemConfig& config);
+
+    /**
+     * CMP form: a core whose private hierarchy sits on a shared
+     * uncore (LLC + DRAM). Several systems built this way contend
+     * for the shared resources.
+     */
+    System(const SystemConfig& config, SharedUncore& uncore);
+
+    ~System();
+
+    /** Hardware vector length (0 for scalar systems). */
+    std::uint32_t hwVectorLength() const;
+
+    /**
+     * Run @p workload: init, emit the matching stream (scalar or
+     * vector) through the timing model with a VecMachine attached,
+     * finish, verify, and collect the result.
+     */
+    RunResult run(Workload& workload);
+
+    TimingModel& timing() { return *model; }
+    MemHierarchy& memory() { return *hierarchy; }
+
+    /** The EVE engine view (nullptr for other systems). */
+    EveSystem* eveSystem() { return eve; }
+
+    /**
+     * Bias all physical addresses seen by the *timing* model (not
+     * the functional machine). CMP cores use disjoint biases so
+     * their footprints do not alias in the shared LLC.
+     */
+    void setAddressBias(Addr bias) { addrBias = bias; }
+
+    const SystemConfig& config() const { return cfg; }
+
+    /** Hierarchy parameters implied by a system configuration. */
+    static HierarchyParams hierarchyParams(const SystemConfig& config);
+
+  private:
+    void buildModel();
+
+    SystemConfig cfg;
+    std::unique_ptr<MemHierarchy> hierarchy;
+    std::unique_ptr<TimingModel> model;
+    EveSystem* eve = nullptr;
+    Addr addrBias = 0;
+};
+
+/** Convenience: build a fresh system and run one workload. */
+RunResult runWorkload(const SystemConfig& config, Workload& workload);
+
+/**
+ * Run two workloads on two cores that share the LLC and the DRAM
+ * channel. The second core's run observes the first core's uncore
+ * traffic (reservation-model approximation of co-execution), so
+ * `second` minus its solo time is the interference cost.
+ */
+std::pair<RunResult, RunResult> runCmpPair(const SystemConfig& cfg_a,
+                                           Workload& workload_a,
+                                           const SystemConfig& cfg_b,
+                                           Workload& workload_b);
+
+} // namespace eve
+
+#endif // EVE_DRIVER_SYSTEM_HH

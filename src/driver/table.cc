@@ -1,0 +1,62 @@
+#include "driver/table.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers.size())
+        panic("TextTable: row with %zu cells, expected %zu",
+              row.size(), headers.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto& row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(int(widths[c])) << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+    emit_row(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+} // namespace eve

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fixed-width text tables for the bench harnesses (the paper's
+ * tables and figure series are printed as aligned text).
+ */
+
+#ifndef EVE_DRIVER_TABLE_HH
+#define EVE_DRIVER_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace eve
+{
+
+/** A simple left-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a header rule. */
+    std::string render() const;
+
+    /** Format a double with @p precision digits. */
+    static std::string num(double value, int precision = 2);
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace eve
+
+#endif // EVE_DRIVER_TABLE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The dynamic instruction record and the streaming trace interface.
+ *
+ * Workload generators *emit* instruction records one at a time into an
+ * InstrSink; timing models, the functional vector machine, and the
+ * Table IV characterizer are all sinks. This mirrors the paper's
+ * methodology of separating execution from timing while keeping
+ * memory bounded for multi-million-instruction traces.
+ */
+
+#ifndef EVE_ISA_INSTR_HH
+#define EVE_ISA_INSTR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/op.hh"
+
+namespace eve
+{
+
+/**
+ * One dynamic instruction.
+ *
+ * Register numbers refer to the architectural vector registers v0-v31
+ * for vector opcodes, or to an abstract scalar register namespace for
+ * scalar trace instructions (the scalar timing models only need the
+ * dependence structure, not values).
+ *
+ * For .vx opcode forms, usesScalar is set and the already-resolved
+ * scalar operand value is carried in @ref imm — the generator knows
+ * the value because it executes the scalar side of the program.
+ */
+struct Instr
+{
+    Op op = Op::SAlu;
+
+    std::uint8_t dst = 0;   ///< destination register
+    std::uint8_t src1 = 0;  ///< first source register
+    std::uint8_t src2 = 0;  ///< second source register
+
+    bool masked = false;     ///< executes under mask register v0
+    bool usesScalar = false; ///< .vx form: src2 replaced by imm value
+
+    std::uint32_t vl = 0;    ///< active vector length (elements)
+
+    Addr addr = 0;           ///< base byte address for memory ops
+    std::int64_t stride = 0; ///< byte stride for strided memory ops
+
+    /**
+     * Per-element byte offsets for indexed memory ops (gather/
+     * scatter), valid only during the consume() call; length = vl.
+     */
+    const std::uint32_t* indices = nullptr;
+
+    std::int64_t imm = 0;    ///< scalar operand / setvl request
+};
+
+/** Consumer of a dynamic instruction stream. */
+class InstrSink
+{
+  public:
+    virtual ~InstrSink() = default;
+
+    /** Process one instruction; records are only valid for the call. */
+    virtual void consume(const Instr& instr) = 0;
+};
+
+/** Fans a stream out to several sinks in order. */
+class TeeSink : public InstrSink
+{
+  public:
+    /** Add a downstream sink (not owned). */
+    void attach(InstrSink* sink) { sinks.push_back(sink); }
+
+    void
+    consume(const Instr& instr) override
+    {
+        for (auto* sink : sinks)
+            sink->consume(instr);
+    }
+
+  private:
+    std::vector<InstrSink*> sinks;
+};
+
+/** Sink that counts instructions and nothing else. */
+class CountingSink : public InstrSink
+{
+  public:
+    void consume(const Instr&) override { ++total; }
+
+    std::uint64_t total = 0;
+};
+
+} // namespace eve
+
+#endif // EVE_ISA_INSTR_HH

@@ -1,0 +1,196 @@
+#include "isa/op.hh"
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+OpClass
+opClass(Op op)
+{
+    switch (op) {
+      case Op::SAlu:
+        return OpClass::ScalarAlu;
+      case Op::SMul:
+        return OpClass::ScalarMul;
+      case Op::SLoad:
+        return OpClass::ScalarLoad;
+      case Op::SStore:
+        return OpClass::ScalarStore;
+      case Op::SBranch:
+        return OpClass::ScalarBranch;
+      case Op::VSetVl:
+      case Op::VMfence:
+      case Op::VMvXS:
+        return OpClass::VecCtrl;
+      case Op::VAdd:
+      case Op::VSub:
+      case Op::VRsub:
+      case Op::VAnd:
+      case Op::VOr:
+      case Op::VXor:
+      case Op::VSll:
+      case Op::VSrl:
+      case Op::VSra:
+      case Op::VMin:
+      case Op::VMax:
+      case Op::VMinu:
+      case Op::VMaxu:
+      case Op::VMseq:
+      case Op::VMsne:
+      case Op::VMslt:
+      case Op::VMsle:
+      case Op::VMsgt:
+      case Op::VMand:
+      case Op::VMor:
+      case Op::VMxor:
+      case Op::VMandn:
+      case Op::VMerge:
+        return OpClass::VecAlu;
+      case Op::VMul:
+      case Op::VMulh:
+      case Op::VMacc:
+      case Op::VDiv:
+      case Op::VDivu:
+      case Op::VRem:
+      case Op::VRemu:
+        return OpClass::VecMul;
+      case Op::VMvVX:
+      case Op::VId:
+      case Op::VIota:
+      case Op::VSlide1Up:
+      case Op::VSlide1Down:
+      case Op::VSlideUp:
+      case Op::VSlideDown:
+      case Op::VRgather:
+        return OpClass::VecXe;
+      case Op::VRedSum:
+      case Op::VRedMin:
+      case Op::VRedMax:
+      case Op::VPopc:
+      case Op::VFirst:
+        return OpClass::VecRed;
+      case Op::VLoad:
+      case Op::VStore:
+        return OpClass::VecMemUnit;
+      case Op::VLoadStrided:
+      case Op::VStoreStrided:
+        return OpClass::VecMemStride;
+      case Op::VLoadIndexed:
+      case Op::VStoreIndexed:
+        return OpClass::VecMemIndex;
+      default:
+        panic("opClass: unknown opcode %d", int(op));
+    }
+}
+
+bool
+isVectorOp(Op op)
+{
+    switch (opClass(op)) {
+      case OpClass::ScalarAlu:
+      case OpClass::ScalarMul:
+      case OpClass::ScalarLoad:
+      case OpClass::ScalarStore:
+      case OpClass::ScalarBranch:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+isMemOp(Op op)
+{
+    switch (opClass(op)) {
+      case OpClass::ScalarLoad:
+      case OpClass::ScalarStore:
+      case OpClass::VecMemUnit:
+      case OpClass::VecMemStride:
+      case OpClass::VecMemIndex:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isVecLoad(Op op)
+{
+    return op == Op::VLoad || op == Op::VLoadStrided ||
+           op == Op::VLoadIndexed;
+}
+
+bool
+isVecStore(Op op)
+{
+    return op == Op::VStore || op == Op::VStoreStrided ||
+           op == Op::VStoreIndexed;
+}
+
+std::string_view
+opName(Op op)
+{
+    switch (op) {
+      case Op::SAlu: return "s.alu";
+      case Op::SMul: return "s.mul";
+      case Op::SLoad: return "s.load";
+      case Op::SStore: return "s.store";
+      case Op::SBranch: return "s.branch";
+      case Op::VSetVl: return "vsetvl";
+      case Op::VMfence: return "vmfence";
+      case Op::VMvXS: return "vmv.x.s";
+      case Op::VAdd: return "vadd";
+      case Op::VSub: return "vsub";
+      case Op::VRsub: return "vrsub";
+      case Op::VAnd: return "vand";
+      case Op::VOr: return "vor";
+      case Op::VXor: return "vxor";
+      case Op::VSll: return "vsll";
+      case Op::VSrl: return "vsrl";
+      case Op::VSra: return "vsra";
+      case Op::VMin: return "vmin";
+      case Op::VMax: return "vmax";
+      case Op::VMinu: return "vminu";
+      case Op::VMaxu: return "vmaxu";
+      case Op::VMul: return "vmul";
+      case Op::VMulh: return "vmulh";
+      case Op::VMacc: return "vmacc";
+      case Op::VDiv: return "vdiv";
+      case Op::VDivu: return "vdivu";
+      case Op::VRem: return "vrem";
+      case Op::VRemu: return "vremu";
+      case Op::VMseq: return "vmseq";
+      case Op::VMsne: return "vmsne";
+      case Op::VMslt: return "vmslt";
+      case Op::VMsle: return "vmsle";
+      case Op::VMsgt: return "vmsgt";
+      case Op::VMand: return "vmand";
+      case Op::VMor: return "vmor";
+      case Op::VMxor: return "vmxor";
+      case Op::VMandn: return "vmandn";
+      case Op::VMerge: return "vmerge";
+      case Op::VMvVX: return "vmv.v.x";
+      case Op::VId: return "vid";
+      case Op::VIota: return "viota";
+      case Op::VSlide1Up: return "vslide1up";
+      case Op::VSlide1Down: return "vslide1down";
+      case Op::VSlideUp: return "vslideup";
+      case Op::VSlideDown: return "vslidedown";
+      case Op::VRgather: return "vrgather";
+      case Op::VRedSum: return "vredsum";
+      case Op::VRedMin: return "vredmin";
+      case Op::VRedMax: return "vredmax";
+      case Op::VPopc: return "vpopc";
+      case Op::VFirst: return "vfirst";
+      case Op::VLoad: return "vle32";
+      case Op::VLoadStrided: return "vlse32";
+      case Op::VLoadIndexed: return "vluxei32";
+      case Op::VStore: return "vse32";
+      case Op::VStoreStrided: return "vsse32";
+      case Op::VStoreIndexed: return "vsuxei32";
+      default: return "<bad-op>";
+    }
+}
+
+} // namespace eve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Opcodes of the simulated instruction stream.
+ *
+ * The trace format carries both scalar bookkeeping instructions and
+ * vector instructions from a next-generation vector ISA modelled on
+ * the 32-bit integer subset of RISC-V RVV. Every opcode is classified
+ * into one of the OpClass categories, which drive both the timing
+ * models and the Table IV instruction-mix characterization.
+ */
+
+#ifndef EVE_ISA_OP_HH
+#define EVE_ISA_OP_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace eve
+{
+
+/** All opcodes understood by the timing and functional models. */
+enum class Op : std::uint8_t
+{
+    // Scalar trace instructions.
+    SAlu,       ///< scalar integer ALU (address arithmetic, compares)
+    SMul,       ///< scalar integer multiply/divide
+    SLoad,      ///< scalar load
+    SStore,     ///< scalar store
+    SBranch,    ///< scalar conditional branch (loop back-edges)
+
+    // Vector configuration / control.
+    VSetVl,     ///< set vector length (returns granted vl)
+    VMfence,    ///< vector memory fence (scalar-vector ordering)
+    VMvXS,      ///< move element 0 to the scalar core (writeback)
+
+    // Vector integer ALU.
+    VAdd, VSub, VRsub,
+    VAnd, VOr, VXor,
+    VSll, VSrl, VSra,
+    VMin, VMax, VMinu, VMaxu,
+
+    // Vector integer multiply / divide.
+    VMul, VMulh, VMacc,
+    VDiv, VDivu, VRem, VRemu,
+
+    // Vector compares (write a 0/1 mask into the destination).
+    VMseq, VMsne, VMslt, VMsle, VMsgt,
+
+    // Mask-register logical operations.
+    VMand, VMor, VMxor, VMandn,
+
+    // Predicated select.
+    VMerge,
+
+    // Cross-element operations.
+    VMvVX,      ///< broadcast a scalar into all elements
+    VId,        ///< write element indices 0..vl-1
+    VIota,      ///< prefix count of set mask bits (viota.m)
+    VSlide1Up, VSlide1Down,
+    VSlideUp, VSlideDown,
+    VRgather,
+
+    // Reductions.
+    VRedSum, VRedMin, VRedMax,
+    VPopc,      ///< population count of a mask (vpopc.m)
+    VFirst,     ///< index of the first set mask bit, -1 if none
+
+    // Vector memory.
+    VLoad,          ///< unit-stride load
+    VLoadStrided,   ///< constant-stride load
+    VLoadIndexed,   ///< indexed (gather) load
+    VStore,         ///< unit-stride store
+    VStoreStrided,  ///< constant-stride store
+    VStoreIndexed,  ///< indexed (scatter) store
+
+    NumOps
+};
+
+/** Coarse classification used by timing models and characterization. */
+enum class OpClass : std::uint8_t
+{
+    ScalarAlu,
+    ScalarMul,
+    ScalarLoad,
+    ScalarStore,
+    ScalarBranch,
+    VecCtrl,        ///< vsetvl, vmfence, vmv.x.s
+    VecAlu,         ///< integer alu, compares, mask logic, merges
+    VecMul,         ///< multiply / divide / macc (iterative in EVE)
+    VecXe,          ///< cross-element: slides, gathers, broadcasts
+    VecRed,         ///< reductions (handled by the VRU)
+    VecMemUnit,     ///< unit-stride loads/stores
+    VecMemStride,   ///< constant-stride loads/stores
+    VecMemIndex,    ///< indexed loads/stores
+};
+
+/** Classify an opcode. */
+OpClass opClass(Op op);
+
+/** True iff the opcode is a vector instruction. */
+bool isVectorOp(Op op);
+
+/** True iff the opcode reads or writes memory. */
+bool isMemOp(Op op);
+
+/** True iff the opcode is a vector load (any addressing mode). */
+bool isVecLoad(Op op);
+
+/** True iff the opcode is a vector store (any addressing mode). */
+bool isVecStore(Op op);
+
+/** Human-readable mnemonic. */
+std::string_view opName(Op op);
+
+} // namespace eve
+
+#endif // EVE_ISA_OP_HH

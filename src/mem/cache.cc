@@ -1,0 +1,244 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace eve
+{
+
+Cache::Cache(const CacheParams& params, MemObject* next_level)
+    : cacheParams(params),
+      next(next_level),
+      clock(params.clock_ns),
+      sets(unsigned(params.size_bytes /
+                    (std::uint64_t(params.line_bytes) * params.assoc))),
+      liveWays(params.assoc),
+      tagArray(sets, std::vector<Line>(params.assoc)),
+      mshrPool(params.mshrs),
+      statGroup(params.name)
+{
+    if (!next)
+        panic("cache %s: next level is null", params.name.c_str());
+    if (sets == 0 || !isPow2(sets))
+        fatal("cache %s: set count %u must be a nonzero power of two",
+              params.name.c_str(), sets);
+    bankPorts.reserve(params.banks);
+    for (unsigned i = 0; i < params.banks; ++i)
+        bankPorts.emplace_back(1);
+}
+
+int
+Cache::findWay(unsigned set, Addr tag) const
+{
+    for (unsigned w = 0; w < liveWays; ++w) {
+        const Line& line = tagArray[set][w];
+        if (line.valid && line.tag == tag)
+            return int(w);
+    }
+    return -1;
+}
+
+unsigned
+Cache::victimWay(unsigned set) const
+{
+    unsigned victim = 0;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (unsigned w = 0; w < liveWays; ++w) {
+        const Line& line = tagArray[set][w];
+        if (!line.valid)
+            return w;
+        if (line.lru < best) {
+            best = line.lru;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+Tick
+Cache::access(Addr addr, bool is_write, Tick t)
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    const Addr tag = tagOf(line);
+
+    // Bank conflict: the bank serving this line is pipelined but can
+    // start only one access per cycle.
+    PipelinedUnits& bank = bankPorts[line % bankPorts.size()];
+    const Tick start = bank.acquire(t, clock.period());
+    const Tick hit_done = start + clock.toTicks(cacheParams.hit_latency);
+
+    statGroup.add(is_write ? "writes" : "reads", 1);
+
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        // Hit — but if the line's fill is still in flight, the access
+        // completes when the fill does.
+        Line& entry = tagArray[set][unsigned(way)];
+        entry.lru = ++lruClock;
+        if (is_write)
+            entry.dirty = true;
+        Tick done = hit_done;
+        auto it = outstanding.find(line);
+        if (it != outstanding.end()) {
+            if (it->second > hit_done) {
+                done = it->second;
+                statGroup.add("mshr_merges", 1);
+            } else {
+                outstanding.erase(it);
+            }
+        }
+        statGroup.add("hits", 1);
+        return done;
+    }
+
+    // Miss: allocate an MSHR (stalling if none are free), fetch the
+    // line from the next level, then fill.
+    statGroup.add("misses", 1);
+    Tick fill = 0;
+    const Tick want = hit_done;  // miss detected after the lookup
+    const Tick grant = mshrPool.acquire(want, [&](Tick g) {
+        fill = next->access(addr, false, g) + clock.period();
+        return fill;
+    });
+    statGroup.add("mshr_wait_ticks", double(grant - want));
+
+    // Victim handling: write back dirty victims to the next level
+    // (bandwidth is charged there; the fill does not wait for it).
+    // The writeback leaves when the miss is sent — issuing it at the
+    // fill time would park a future reservation on the next level's
+    // channel and stall earlier arrivals behind it.
+    const unsigned victim = victimWay(set);
+    Line& entry = tagArray[set][victim];
+    if (entry.valid && entry.dirty) {
+        const Addr victim_line = entry.tag * sets + set;
+        next->access(victim_line * cacheParams.line_bytes, true, grant);
+        statGroup.add("writebacks", 1);
+    }
+
+    entry.valid = true;
+    entry.dirty = is_write;
+    entry.tag = tag;
+    entry.lru = ++lruClock;
+
+    outstanding[line] = fill;
+    // Keep the outstanding map from growing without bound: drop
+    // entries that completed long before this access.
+    if (outstanding.size() > 4 * cacheParams.mshrs) {
+        for (auto it = outstanding.begin(); it != outstanding.end();) {
+            if (it->second <= start)
+                it = outstanding.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    // Stream prefetch: pull the next lines in parallel with the
+    // demand miss (launched at miss detection, not at fill, and not
+    // holding demand MSHRs — a dedicated prefetch queue).
+    for (unsigned i = 1; i <= cacheParams.prefetch_lines; ++i)
+        prefetchLine(line + i, want);
+
+    return fill;
+}
+
+void
+Cache::prefetchLine(Addr line, Tick t)
+{
+    const unsigned set = setIndex(line);
+    const Addr tag = tagOf(line);
+    if (findWay(set, tag) >= 0 || outstanding.count(line))
+        return;
+    statGroup.add("prefetches", 1);
+    const Tick fill = next->access(line * cacheParams.line_bytes,
+                                   false, t) + clock.period();
+    const unsigned victim = victimWay(set);
+    Line& entry = tagArray[set][victim];
+    if (entry.valid && entry.dirty) {
+        const Addr victim_line = entry.tag * sets + set;
+        next->access(victim_line * cacheParams.line_bytes, true, t);
+        statGroup.add("writebacks", 1);
+    }
+    entry.valid = true;
+    entry.dirty = false;
+    entry.tag = tag;
+    entry.lru = ++lruClock;
+    outstanding[line] = fill;
+}
+
+void
+Cache::resetTiming()
+{
+    for (auto& bank : bankPorts)
+        bank.reset();
+    mshrPool.reset();
+    outstanding.clear();
+    statGroup.clear();
+}
+
+void
+Cache::setActiveWays(unsigned active_ways)
+{
+    if (active_ways == 0 || active_ways > cacheParams.assoc)
+        fatal("cache %s: cannot set %u active ways (assoc %u)",
+              cacheParams.name.c_str(), active_ways, cacheParams.assoc);
+    liveWays = active_ways;
+}
+
+InvalidateResult
+Cache::invalidateWays(unsigned way_begin, unsigned way_end)
+{
+    if (way_end > cacheParams.assoc || way_begin > way_end)
+        panic("cache %s: bad way range [%u, %u)",
+              cacheParams.name.c_str(), way_begin, way_end);
+    InvalidateResult result;
+    for (auto& set : tagArray) {
+        for (unsigned w = way_begin; w < way_end; ++w) {
+            Line& line = set[w];
+            if (line.valid) {
+                ++result.valid_lines;
+                if (line.dirty)
+                    ++result.dirty_lines;
+            }
+            line = Line{};
+        }
+    }
+    return result;
+}
+
+void
+Cache::invalidateAll()
+{
+    invalidateWays(0, cacheParams.assoc);
+    outstanding.clear();
+}
+
+void
+Cache::touch(Addr addr, bool dirty)
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    const Addr tag = tagOf(line);
+    int way = findWay(set, tag);
+    if (way < 0) {
+        way = int(victimWay(set));
+        Line& entry = tagArray[set][unsigned(way)];
+        entry.valid = true;
+        entry.dirty = false;
+        entry.tag = tag;
+    }
+    Line& entry = tagArray[set][unsigned(way)];
+    entry.lru = ++lruClock;
+    entry.dirty = entry.dirty || dirty;
+}
+
+bool
+Cache::isCached(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    return findWay(setIndex(line), tagOf(line)) >= 0;
+}
+
+} // namespace eve

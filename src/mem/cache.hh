@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Set-associative write-back, write-allocate cache with banked access
+ * and MSHR-limited miss parallelism.
+ *
+ * The tag array is functional (real tags, LRU replacement), while
+ * timing comes from reservation resources: per-bank pipelined ports
+ * and an MSHR token pool. Misses to a line that is already
+ * outstanding merge into the in-flight MSHR (secondary misses),
+ * which matters for unit-stride vector streams.
+ *
+ * Way masking supports the EVE reconfiguration story: the L2 can be
+ * restricted to its "cache ways" while the "EVE ways" are carved out
+ * as an ephemeral vector engine (Section V-E of the paper).
+ */
+
+#ifndef EVE_MEM_CACHE_HH
+#define EVE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/mem_object.hh"
+#include "sim/resource.hh"
+
+namespace eve
+{
+
+/** Configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned line_bytes = 64;
+    unsigned banks = 1;
+    Cycles hit_latency = 1;   ///< in cycles of @ref clock
+    unsigned mshrs = 16;
+    double clock_ns = 1.0;    ///< cycle time of this level
+
+    /**
+     * Next-N-line stream prefetcher (0 = off). On a demand miss the
+     * cache also fetches the following lines without holding the
+     * requester — the paper's future-work lever for making better
+     * use of memory bandwidth under limited MSHRs.
+     */
+    unsigned prefetch_lines = 0;
+};
+
+/** Result of invalidating a range of ways (EVE spawn cost input). */
+struct InvalidateResult
+{
+    std::uint64_t valid_lines = 0;
+    std::uint64_t dirty_lines = 0;
+};
+
+/** One cache level. */
+class Cache : public MemObject
+{
+  public:
+    Cache(const CacheParams& params, MemObject* next_level);
+
+    Tick access(Addr addr, bool is_write, Tick t) override;
+
+    StatGroup& stats() override { return statGroup; }
+
+    void resetTiming() override;
+
+    /**
+     * Restrict lookups and fills to ways [0, active_ways). Lines in
+     * the masked-off ways become unreachable; callers wanting the
+     * paper's spawn semantics invalidate them first.
+     */
+    void setActiveWays(unsigned active_ways);
+
+    unsigned activeWays() const { return liveWays; }
+
+    /**
+     * Invalidate all lines in ways [way_begin, way_end), returning
+     * how many lines were valid and dirty — the inputs to the spawn
+     * cost model (each dirty line incurs a writeback to the LLC).
+     */
+    InvalidateResult invalidateWays(unsigned way_begin, unsigned way_end);
+
+    /** Invalidate the entire cache. */
+    void invalidateAll();
+
+    /** Warm a line into the cache without timing side effects. */
+    void touch(Addr addr, bool dirty = false);
+
+    const CacheParams& params() const { return cacheParams; }
+
+    /** Number of sets. */
+    unsigned numSets() const { return sets; }
+
+    /** True iff the line containing @p addr is present (tests). */
+    bool isCached(Addr addr) const;
+
+    /** Ticks spent waiting for a free MSHR (Figure 8 numerator). */
+    double mshrWaitTicks() const { return statGroup.get("mshr_wait_ticks"); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / cacheParams.line_bytes; }
+    unsigned setIndex(Addr line) const { return unsigned(line % sets); }
+    Addr tagOf(Addr line) const { return line / sets; }
+
+    /** Find the way holding @p line in its set, or -1. */
+    int findWay(unsigned set, Addr tag) const;
+
+    /** Pick a victim way among active ways (invalid first, then LRU). */
+    unsigned victimWay(unsigned set) const;
+
+    /** Issue one stream-prefetch fill for @p line at tick @p t. */
+    void prefetchLine(Addr line, Tick t);
+
+    CacheParams cacheParams;
+    MemObject* next;
+    ClockDomain clock;
+
+    unsigned sets;
+    unsigned liveWays;
+    std::vector<std::vector<Line>> tagArray;  ///< [set][way]
+    std::uint64_t lruClock = 0;
+
+    std::vector<PipelinedUnits> bankPorts;
+    TokenPool mshrPool;
+    std::unordered_map<Addr, Tick> outstanding;  ///< line -> fill tick
+
+    StatGroup statGroup;
+};
+
+} // namespace eve
+
+#endif // EVE_MEM_CACHE_HH

@@ -1,0 +1,70 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+PipelinedUnits::PipelinedUnits(unsigned count)
+    : freeAt(std::max(count, 1u), 0)
+{
+}
+
+Tick
+PipelinedUnits::acquire(Tick t, Tick busy)
+{
+    auto it = std::min_element(freeAt.begin(), freeAt.end());
+    Tick start = std::max(t, *it);
+    *it = start + busy;
+    return start;
+}
+
+Tick
+PipelinedUnits::earliestStart(Tick t) const
+{
+    Tick min_free = *std::min_element(freeAt.begin(), freeAt.end());
+    return std::max(t, min_free);
+}
+
+void
+PipelinedUnits::reset()
+{
+    std::fill(freeAt.begin(), freeAt.end(), 0);
+}
+
+TokenPool::TokenPool(unsigned count) : capacity(std::max(count, 1u))
+{
+}
+
+Tick
+TokenPool::grantTime(Tick t) const
+{
+    if (busy.size() < capacity)
+        return t;
+    // All tokens busy: the request waits for the earliest release.
+    return std::max(t, busy.top());
+}
+
+unsigned
+TokenPool::inFlight(Tick t)
+{
+    retire(t);
+    return unsigned(busy.size());
+}
+
+void
+TokenPool::reset()
+{
+    busy = {};
+}
+
+void
+TokenPool::retire(Tick t)
+{
+    while (!busy.empty() && busy.top() <= t)
+        busy.pop();
+}
+
+} // namespace eve

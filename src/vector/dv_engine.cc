@@ -1,0 +1,151 @@
+#include <algorithm>
+
+#include "vector/dv_engine.hh"
+
+#include "common/log.hh"
+#include "vector/request_gen.hh"
+
+namespace eve
+{
+
+DVSystem::DVSystem(const DVParams& params, MemHierarchy& mem)
+    : params(params),
+      mem(mem),
+      core(params.core, mem),
+      pipeSimple(1),
+      pipeComplex(1),
+      pipeIter(1),
+      vmuGen(1),
+      statGroup("dv")
+{
+}
+
+void
+DVSystem::consume(const Instr& instr)
+{
+    if (isVectorOp(instr.op))
+        consumeVector(instr);
+    else
+        core.consume(instr);
+}
+
+void
+DVSystem::consumeVector(const Instr& instr)
+{
+    if (instr.vl > params.hw_vl && opClass(instr.op) != OpClass::VecCtrl)
+        panic("DVSystem: vl %u exceeds hardware vl %u", instr.vl,
+              params.hw_vl);
+
+    statGroup.add("vector_instrs", 1);
+    const ClockDomain& clk = core.clockDomain();
+    const Tick commit = core.dispatchVector(instr);
+
+    // In-order issue once sources are ready; memory instructions use
+    // their own queue so the VMU can run ahead of compute.
+    const bool is_mem = isMemOp(instr.op);
+    Tick ready = 0;
+    if (isVecLoad(instr.op)) {
+        if (opClass(instr.op) == OpClass::VecMemIndex)
+            ready = vregReady[instr.src2];  // index register
+    } else {
+        ready = vregReady[instr.src1];
+        if (!instr.usesScalar)
+            ready = std::max(ready, vregReady[instr.src2]);
+    }
+    if (instr.masked || instr.op == Op::VMerge)
+        ready = std::max(ready, vregReady[0]);
+    Tick& queue = is_mem ? memIssueFree : issueFree;
+    const Tick issue = std::max({queue, commit, ready});
+    statGroup.add("issue_wait_ticks", double(issue - commit));
+    queue = issue + clk.period();
+    Tick done = issue + clk.period();
+
+    switch (opClass(instr.op)) {
+      case OpClass::VecCtrl:
+        if (instr.op == Op::VMfence) {
+            done = std::max(done, memLast);
+            core.stallCommit(done);
+        } else if (instr.op == Op::VMvXS) {
+            done = std::max(done, vregReady[instr.src1]) + clk.period();
+            core.stallCommit(done);
+        }
+        break;
+
+      case OpClass::VecAlu: {
+        const Tick start =
+            pipeSimple.acquire(issue, clk.toTicks(beats(instr.vl)));
+        done = start + clk.toTicks(beats(instr.vl) + params.alu_latency);
+        break;
+      }
+
+      case OpClass::VecMul: {
+        const bool div = instr.op == Op::VDiv || instr.op == Op::VDivu ||
+                         instr.op == Op::VRem || instr.op == Op::VRemu;
+        if (div) {
+            const Cycles occ = params.iter_cycles_per_elem * instr.vl /
+                               params.lanes * 8;
+            const Tick start = pipeIter.acquire(issue, clk.toTicks(occ));
+            done = start + clk.toTicks(occ);
+        } else {
+            const Tick start =
+                pipeComplex.acquire(issue, clk.toTicks(beats(instr.vl)));
+            done = start +
+                   clk.toTicks(beats(instr.vl) + params.mul_latency);
+        }
+        break;
+      }
+
+      case OpClass::VecXe:
+      case OpClass::VecRed: {
+        // Cross-element / reduction ops run on the iterative pipe.
+        const Cycles occ =
+            std::max<Cycles>(beats(instr.vl) * 2, 4);
+        const Tick start = pipeIter.acquire(issue, clk.toTicks(occ));
+        done = start + clk.toTicks(occ);
+        break;
+      }
+
+      case OpClass::VecMemUnit:
+      case OpClass::VecMemStride:
+      case OpClass::VecMemIndex: {
+        const bool is_load = isVecLoad(instr.op);
+        const auto lines = planRequests(
+            instr, mem.l2().params().line_bytes);
+        Tick max_done = issue;
+        Tick gen = issue;
+        for (const Addr line : lines) {
+            // One request generated + translated per cycle.
+            gen = vmuGen.acquire(gen, clk.period()) + clk.period();
+            const Tick line_done = mem.l2().access(line, !is_load, gen);
+            max_done = std::max(max_done, line_done);
+        }
+        statGroup.add("vmu_lines", double(lines.size()));
+        done = is_load ? max_done + clk.period() : gen;
+        memLast = std::max(memLast, max_done);
+        break;
+      }
+
+      default:
+        panic("DVSystem: unexpected vector class");
+    }
+
+    if (!isVecStore(instr.op) && opClass(instr.op) != OpClass::VecCtrl)
+        vregReady[instr.dst] = done;
+    engineLast = std::max(engineLast, done);
+}
+
+void
+DVSystem::finish()
+{
+    core.finish();
+    statGroup.set("cycles",
+                  double(finalTick()) / core.clockDomain().period());
+}
+
+Tick
+DVSystem::finalTick() const
+{
+    return std::max({core.finalTick(), engineLast, memLast});
+}
+
+} // namespace eve

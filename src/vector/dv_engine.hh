@@ -1,0 +1,82 @@
+/**
+ * @file
+ * O3+DV: a decoupled vector engine loosely based on Tarantula
+ * (Table III and Figure 5 of the paper).
+ *
+ * Vector instructions are handed to the engine when they commit in
+ * the control processor; the engine issues them in order to four
+ * execution pipes (simple integer, pipelined complex integer,
+ * iterative complex/cross-element, memory). Sixteen lanes process a
+ * 64-element vector in four beats. The VMU generates cacheline
+ * requests (one per cycle, one-cycle translation that always hits,
+ * per Section VII-A) against the private L2.
+ */
+
+#ifndef EVE_VECTOR_DV_ENGINE_HH
+#define EVE_VECTOR_DV_ENGINE_HH
+
+#include <array>
+
+#include "cpu/o3_core.hh"
+#include "cpu/timing_model.hh"
+#include "mem/hierarchy.hh"
+#include "sim/resource.hh"
+
+namespace eve
+{
+
+/** Configuration of the decoupled vector engine. */
+struct DVParams
+{
+    O3CoreParams core;
+    unsigned hw_vl = 64;
+    unsigned lanes = 16;
+    Cycles alu_latency = 2;
+    Cycles mul_latency = 6;
+    Cycles iter_cycles_per_elem = 4;  ///< div and cross-element ops
+};
+
+/** The O3+DV system. */
+class DVSystem : public TimingModel
+{
+  public:
+    DVSystem(const DVParams& params, MemHierarchy& mem);
+
+    void consume(const Instr& instr) override;
+    void finish() override;
+    Tick finalTick() const override;
+    StatGroup& stats() override { return statGroup; }
+    double clockNs() const override { return core.clockNs(); }
+
+    unsigned hwVectorLength() const { return params.hw_vl; }
+
+  private:
+    void consumeVector(const Instr& instr);
+    Cycles beats(std::uint32_t vl) const
+    {
+        return (vl + params.lanes - 1) / params.lanes;
+    }
+
+    DVParams params;
+    MemHierarchy& mem;
+    O3Core core;
+
+    // Decoupled access/execute: memory instructions issue through
+    // their own in-order queue and run ahead of compute (the whole
+    // point of a decoupled engine); dependencies are still honoured
+    // through the vector-register ready times.
+    Tick issueFree = 0;     ///< compute-side in-order issue point
+    Tick memIssueFree = 0;  ///< memory-side in-order issue point
+    PipelinedUnits pipeSimple;
+    PipelinedUnits pipeComplex;
+    PipelinedUnits pipeIter;
+    PipelinedUnits vmuGen;  ///< request generation + translation
+    std::array<Tick, 32> vregReady{};
+    Tick memLast = 0;
+    Tick engineLast = 0;
+    StatGroup statGroup;
+};
+
+} // namespace eve
+
+#endif // EVE_VECTOR_DV_ENGINE_HH

@@ -1,0 +1,131 @@
+#include <algorithm>
+
+#include "vector/iv_engine.hh"
+
+#include "common/log.hh"
+
+namespace eve
+{
+
+IVSystem::IVSystem(const IVParams& params, MemHierarchy& mem)
+    : params(params),
+      mem(mem),
+      core(params.core, mem),
+      simdPipes(params.simd_pipes),
+      memPipe(1),
+      statGroup("iv")
+{
+}
+
+void
+IVSystem::consume(const Instr& instr)
+{
+    if (isVectorOp(instr.op))
+        consumeVector(instr);
+    else
+        core.consume(instr);
+}
+
+void
+IVSystem::consumeVector(const Instr& instr)
+{
+    if (instr.vl > params.hw_vl && opClass(instr.op) != OpClass::VecCtrl)
+        panic("IVSystem: vl %u exceeds hardware vl %u", instr.vl,
+              params.hw_vl);
+
+    statGroup.add("vector_instrs", 1);
+    const ClockDomain& clk = core.clockDomain();
+    const Tick slot = core.takeSlot();
+    Tick ready = 0;
+    if (isVecLoad(instr.op)) {
+        if (opClass(instr.op) == OpClass::VecMemIndex)
+            ready = vregReady[instr.src2];  // index register
+    } else {
+        ready = vregReady[instr.src1];
+        if (!instr.usesScalar)
+            ready = std::max(ready, vregReady[instr.src2]);
+    }
+    if (instr.masked || instr.op == Op::VMerge)
+        ready = std::max(ready, vregReady[0]);
+    const Tick issue = std::max(slot, ready);
+    Tick done = issue + clk.period();
+
+    switch (opClass(instr.op)) {
+      case OpClass::VecCtrl:
+        // vsetvl/vmfence resolve in the pipeline.
+        break;
+
+      case OpClass::VecAlu:
+      case OpClass::VecXe: {
+        const Tick start = simdPipes.acquire(issue, clk.period());
+        done = start + clk.toTicks(params.alu_latency);
+        break;
+      }
+
+      case OpClass::VecRed: {
+        // Short-VL reduction: serial combine over the elements.
+        const Tick start = simdPipes.acquire(issue, clk.period());
+        done = start + clk.toTicks(params.alu_latency + instr.vl);
+        break;
+      }
+
+      case OpClass::VecMul: {
+        const Tick start = simdPipes.acquire(issue, clk.period());
+        const bool div = instr.op == Op::VDiv || instr.op == Op::VDivu ||
+                         instr.op == Op::VRem || instr.op == Op::VRemu;
+        done = start +
+               clk.toTicks(div ? params.div_latency_per_elem * instr.vl
+                               : params.mul_latency);
+        break;
+      }
+
+      case OpClass::VecMemUnit:
+      case OpClass::VecMemStride:
+      case OpClass::VecMemIndex: {
+        // Cracked into per-element scalar accesses through the LSQ.
+        const bool is_load = isVecLoad(instr.op);
+        Tick max_done = issue;
+        for (std::uint32_t e = 0; e < instr.vl; ++e) {
+            Addr addr = instr.addr;
+            if (opClass(instr.op) == OpClass::VecMemStride)
+                addr += Addr(std::int64_t(e) * instr.stride);
+            else if (opClass(instr.op) == OpClass::VecMemIndex)
+                addr += instr.indices[e];
+            else
+                addr += Addr(e) * 4;
+            const Tick port = memPipe.acquire(
+                issue + Tick(e) * clk.period() / 2, clk.period());
+            const Tick elem_done =
+                mem.l1d().access(addr, !is_load, port);
+            max_done = std::max(max_done, elem_done);
+        }
+        done = is_load ? max_done : issue + clk.period();
+        engineLast = std::max(engineLast, max_done);
+        break;
+      }
+
+      default:
+        panic("IVSystem: unexpected vector class for %s",
+              std::string(opName(instr.op)).c_str());
+    }
+
+    if (isVectorOp(instr.op) && !isVecStore(instr.op))
+        vregReady[instr.dst] = done;
+    core.recordCompletion(done);
+    engineLast = std::max(engineLast, done);
+}
+
+void
+IVSystem::finish()
+{
+    core.finish();
+    statGroup.set("cycles", double(finalTick()) / core.clockDomain().period());
+}
+
+Tick
+IVSystem::finalTick() const
+{
+    return std::max(core.finalTick(), engineLast);
+}
+
+} // namespace eve

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * O3+IV: an integrated vector unit in the out-of-order core
+ * (Table III), loosely following the paper's description of
+ * Samsung-M3/SVE-style short-vector units.
+ *
+ * Hardware vector length 4; vector arithmetic issues out of order on
+ * two shared SIMD pipes; vector memory operations are cracked into
+ * per-element scalar accesses through the core's LSQ and L1D — the
+ * paper's "constant strides and indexed memory operations are
+ * decomposed to micro-operations and handled as scalar loads/stores".
+ */
+
+#ifndef EVE_VECTOR_IV_ENGINE_HH
+#define EVE_VECTOR_IV_ENGINE_HH
+
+#include <array>
+
+#include "cpu/o3_core.hh"
+#include "cpu/timing_model.hh"
+#include "mem/hierarchy.hh"
+#include "sim/resource.hh"
+
+namespace eve
+{
+
+/** Configuration of the integrated vector unit. */
+struct IVParams
+{
+    O3CoreParams core;
+    unsigned hw_vl = 4;
+    unsigned simd_pipes = 2;
+    Cycles alu_latency = 2;
+    Cycles mul_latency = 4;
+    Cycles div_latency_per_elem = 8;
+};
+
+/** The O3+IV system. */
+class IVSystem : public TimingModel
+{
+  public:
+    IVSystem(const IVParams& params, MemHierarchy& mem);
+
+    void consume(const Instr& instr) override;
+    void finish() override;
+    Tick finalTick() const override;
+    StatGroup& stats() override { return statGroup; }
+    double clockNs() const override { return core.clockNs(); }
+
+    unsigned hwVectorLength() const { return params.hw_vl; }
+
+  private:
+    void consumeVector(const Instr& instr);
+
+    IVParams params;
+    MemHierarchy& mem;
+    O3Core core;
+    PipelinedUnits simdPipes;
+    PipelinedUnits memPipe;
+    std::array<Tick, 32> vregReady{};
+    Tick engineLast = 0;
+    StatGroup statGroup;
+};
+
+} // namespace eve
+
+#endif // EVE_VECTOR_IV_ENGINE_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Cacheline request planning for vector memory units.
+ *
+ * Both the decoupled engine's VMU and EVE's VMU guarantee cache-line
+ * alignment of generated requests (Section V-C): a unit-stride access
+ * touches contiguous lines, a strided/indexed access touches one line
+ * per element unless neighbouring elements share a line. The plan is
+ * the ordered list of line addresses the VMU issues.
+ */
+
+#ifndef EVE_VECTOR_REQUEST_GEN_HH
+#define EVE_VECTOR_REQUEST_GEN_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instr.hh"
+
+namespace eve
+{
+
+/** Ordered cacheline addresses one vector memory op generates. */
+std::vector<Addr> planRequests(const Instr& instr, unsigned line_bytes);
+
+} // namespace eve
+
+#endif // EVE_VECTOR_REQUEST_GEN_HH

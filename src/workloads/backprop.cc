@@ -1,0 +1,153 @@
+#include <algorithm>
+
+#include "workloads/backprop.hh"
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+BackpropWorkload::BackpropWorkload(std::size_t inputs, std::size_t hidden)
+    : inputs(inputs), hidden(hidden)
+{
+}
+
+void
+BackpropWorkload::init()
+{
+    mem.resize((inputs + inputs * hidden + 2 * hidden) * 4 + 64);
+    Rng rng(0xb9);
+    in.resize(inputs);
+    delta.resize(hidden);
+    std::vector<std::int32_t> w(inputs * hidden);
+    for (std::size_t i = 0; i < inputs; ++i) {
+        in[i] = std::int32_t(rng.range(-64, 64));
+        mem.store32(inAddr(i), in[i]);
+    }
+    for (std::size_t j = 0; j < hidden; ++j) {
+        delta[j] = std::int32_t(rng.range(-16, 16));
+        mem.store32(deltaAddr(j), delta[j]);
+    }
+    for (std::size_t idx = 0; idx < inputs * hidden; ++idx) {
+        w[idx] = std::int32_t(rng.range(-128, 128));
+        mem.store32(Addr(inputs + idx) * 4, w[idx]);
+    }
+
+    // Forward pass: hidden[j] = (sum_i in[i] * w[i][j]) >> 8.
+    refHidden.assign(hidden, 0);
+    for (std::size_t i = 0; i < inputs; ++i)
+        for (std::size_t j = 0; j < hidden; ++j)
+            refHidden[j] = std::int32_t(
+                std::uint32_t(refHidden[j]) +
+                std::uint32_t(in[i]) * std::uint32_t(w[i * hidden + j]));
+    for (auto& h : refHidden)
+        h >>= 8;
+
+    // Weight update: w[i][j] += (in[i] * delta[j]) >> 6.
+    refW = w;
+    for (std::size_t i = 0; i < inputs; ++i)
+        for (std::size_t j = 0; j < hidden; ++j) {
+            // Matches the vector program: 32-bit wrapping multiply,
+            // then an arithmetic shift (vsra).
+            const std::int32_t prod = std::int32_t(
+                std::uint32_t(in[i]) * std::uint32_t(delta[j]));
+            refW[i * hidden + j] = std::int32_t(
+                std::uint32_t(refW[i * hidden + j]) +
+                std::uint32_t(prod >> 6));
+        }
+}
+
+void
+BackpropWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    // Forward pass.
+    for (std::size_t i = 0; i < inputs; ++i) {
+        e.load(inAddr(i), 5, 2);
+        for (std::size_t j = 0; j < hidden; ++j) {
+            e.load(wAddr(i, j), 6, 3);
+            e.mul(7, 5, 6);
+            e.alu(8, 8, 7);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+    }
+    for (std::size_t j = 0; j < hidden; ++j)
+        e.store(hidAddr(j), 8, 4);
+    // Weight update (column walk).
+    for (std::size_t j = 0; j < hidden; ++j) {
+        e.load(deltaAddr(j), 5, 2);
+        for (std::size_t i = 0; i < inputs; ++i) {
+            e.load(inAddr(i), 6, 3);
+            e.mul(7, 5, 6);
+            e.alu(7, 7, 0);  // shift
+            e.load(wAddr(i, j), 8, 4);
+            e.alu(8, 8, 7);
+            e.store(wAddr(i, j), 8, 4);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+    }
+}
+
+void
+BackpropWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    const std::int64_t col_stride_fw = std::int64_t(hidden) * 4;
+    // Forward pass: vectorized over the (long) input dimension with
+    // a dot-product per hidden unit — strided weight-column loads
+    // and a reduction, keeping the vector length at hardware scale.
+    for (std::size_t j = 0; j < hidden; ++j) {
+        const std::uint32_t first_vl =
+            std::uint32_t(std::min<std::size_t>(hw_vl, inputs));
+        e.setVl(first_vl);
+        e.vx(Op::VMvVX, 8, 0, 0, first_vl);  // reduction seed
+        for (std::size_t ib = 0; ib < inputs; ib += hw_vl) {
+            const std::uint32_t vl =
+                std::uint32_t(std::min<std::size_t>(hw_vl, inputs - ib));
+            e.setVl(vl);
+            e.vload(9, inAddr(ib), vl);
+            e.vloadStrided(10, wAddr(ib, j), col_stride_fw, vl);
+            e.vv(Op::VMul, 11, 9, 10, vl);
+            e.vv(Op::VRedSum, 8, 11, 8, vl);
+            e.stripOverhead(2);
+        }
+        e.setVl(1);
+        e.vx(Op::VSra, 8, 8, 8, 1);
+        e.vstore(8, hidAddr(j), 1);
+        e.stripOverhead(1);
+    }
+    // Weight update: vectorized over inputs — strided column access
+    // with stride hidden*4 bytes (one cacheline per element).
+    const std::int64_t col_stride = std::int64_t(hidden) * 4;
+    for (std::size_t j = 0; j < hidden; ++j) {
+        for (std::size_t ib = 0; ib < inputs; ib += hw_vl) {
+            const std::uint32_t vl =
+                std::uint32_t(std::min<std::size_t>(hw_vl, inputs - ib));
+            e.setVl(vl);
+            e.vload(1, inAddr(ib), vl);
+            e.vx(Op::VMul, 2, 1, delta[j], vl);
+            e.vx(Op::VSra, 2, 2, 6, vl);
+            e.vloadStrided(3, wAddr(ib, j), col_stride, vl);
+            e.vv(Op::VAdd, 3, 3, 2, vl);
+            e.vstoreStrided(3, wAddr(ib, j), col_stride, vl);
+            e.stripOverhead(2);
+        }
+    }
+}
+
+std::uint64_t
+BackpropWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t j = 0; j < hidden; ++j)
+        if (mem.load32(hidAddr(j)) != refHidden[j])
+            ++bad;
+    for (std::size_t idx = 0; idx < inputs * hidden; ++idx)
+        if (mem.load32(Addr(inputs + idx) * 4) != refW[idx])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

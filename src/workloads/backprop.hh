@@ -1,0 +1,57 @@
+/**
+ * @file
+ * backprop (Rodinia, integer variant): one training step of a
+ * two-layer perceptron. The forward pass is unit-stride (weight rows)
+ * with multiply-accumulate; the weight-update pass walks weight
+ * *columns* with a very large stride, so no two elements share a
+ * cacheline — the paper's MSHR-limited worst case (Figure 8).
+ */
+
+#ifndef EVE_WORKLOADS_BACKPROP_HH
+#define EVE_WORKLOADS_BACKPROP_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The backprop kernel. */
+class BackpropWorkload : public Workload
+{
+  public:
+    explicit BackpropWorkload(std::size_t inputs = 16384,
+                              std::size_t hidden = 64);
+
+    std::string name() const override { return "backprop"; }
+    std::string suite() const override { return "rodinia"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr inAddr(std::size_t i) const { return Addr(i) * 4; }
+    Addr wAddr(std::size_t i, std::size_t j) const
+    {
+        return Addr(inputs + i * hidden + j) * 4;
+    }
+    Addr hidAddr(std::size_t j) const
+    {
+        return Addr(inputs + inputs * hidden + j) * 4;
+    }
+    Addr deltaAddr(std::size_t j) const
+    {
+        return Addr(inputs + inputs * hidden + hidden + j) * 4;
+    }
+
+    std::size_t inputs;
+    std::size_t hidden;
+    std::vector<std::int32_t> in;
+    std::vector<std::int32_t> delta;
+    std::vector<std::int32_t> refHidden;
+    std::vector<std::int32_t> refW;  ///< weights after the update
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_BACKPROP_HH

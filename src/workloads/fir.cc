@@ -1,0 +1,83 @@
+#include "workloads/fir.hh"
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+FirWorkload::FirWorkload(std::size_t n, unsigned taps)
+    : n(n), taps(taps)
+{
+}
+
+void
+FirWorkload::init()
+{
+    mem.resize((2 * n + 2 * taps) * 4 + 64);
+    Rng rng(0xf14);
+    coeff.resize(taps);
+    std::vector<std::int32_t> x(n + taps);
+    for (unsigned k = 0; k < taps; ++k)
+        coeff[k] = std::int32_t(rng.range(-9, 9));
+    for (std::size_t i = 0; i < n + taps; ++i) {
+        x[i] = std::int32_t(rng.range(-1000, 1000));
+        mem.store32(xAddr(i), x[i]);
+    }
+    refY.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t acc = 0;
+        for (unsigned k = 0; k < taps; ++k)
+            acc += std::uint32_t(coeff[k]) * std::uint32_t(x[i + k]);
+        refY[i] = std::int32_t(acc);
+    }
+}
+
+void
+FirWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (unsigned k = 0; k < taps; ++k) {
+            e.load(xAddr(i + k), 5, 2);
+            e.mul(6, 5, 7);
+            e.alu(8, 8, 6);
+            e.branch(1);
+        }
+        e.store(yAddr(i), 8, 3);
+        e.alu(1, 1, 0);
+        e.branch(1);
+    }
+}
+
+void
+FirWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    for (std::size_t ib = 0; ib < n; ib += hw_vl) {
+        const std::uint32_t vl =
+            std::uint32_t(std::min<std::size_t>(hw_vl, n - ib));
+        e.setVl(vl);
+        e.vx(Op::VMvVX, 8, 0, 0, vl);  // acc
+        for (unsigned k = 0; k < taps; ++k) {
+            // Overlapping unit-stride window starting at i+k.
+            e.vload(9, xAddr(ib + k), vl);
+            e.vx(Op::VMacc, 8, 9, coeff[k], vl);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+        e.vstore(8, yAddr(ib), vl);
+        e.stripOverhead(2);
+    }
+}
+
+std::uint64_t
+FirWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (mem.load32(yAddr(i)) != refY[i])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

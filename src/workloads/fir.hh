@@ -1,0 +1,45 @@
+/**
+ * @file
+ * fir (extension workload): 1-D finite-impulse-response filter,
+ * y[i] = sum_k c[k] * x[i+k]. Long unit-stride streams with one
+ * multiply-accumulate per tap — a classic DSP shape that keeps every
+ * long-vector machine at full hardware vector length.
+ */
+
+#ifndef EVE_WORKLOADS_FIR_HH
+#define EVE_WORKLOADS_FIR_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The FIR kernel. */
+class FirWorkload : public Workload
+{
+  public:
+    FirWorkload(std::size_t n = 1 << 17, unsigned taps = 16);
+
+    std::string name() const override { return "fir"; }
+    std::string suite() const override { return "extension"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr xAddr(std::size_t i) const { return Addr(i) * 4; }
+    Addr yAddr(std::size_t i) const
+    {
+        return Addr(n + taps + i) * 4;
+    }
+
+    std::size_t n;
+    unsigned taps;
+    std::vector<std::int32_t> coeff;
+    std::vector<std::int32_t> refY;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_FIR_HH

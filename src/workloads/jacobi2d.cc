@@ -1,0 +1,124 @@
+#include "workloads/jacobi2d.hh"
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+Jacobi2dWorkload::Jacobi2dWorkload(std::size_t dim, unsigned iters)
+    : dim(dim), iters(iters)
+{
+}
+
+void
+Jacobi2dWorkload::init()
+{
+    const std::size_t s = stride();
+    mem.resize(2 * s * s * 4 + 64);
+    Rng rng(0x2d2d);
+    std::vector<std::int32_t> grid(s * s, 0);
+    for (std::size_t i = 1; i <= dim; ++i)
+        for (std::size_t j = 1; j <= dim; ++j)
+            grid[i * s + j] = std::int32_t(rng.range(0, 1000));
+    for (std::size_t idx = 0; idx < s * s; ++idx) {
+        mem.store32(gridAddr(0, 0, 0) + Addr(idx) * 4, grid[idx]);
+        mem.store32(gridAddr(1, 0, 0) + Addr(idx) * 4, 0);
+    }
+
+    snapshots.clear();
+    for (unsigned t = 0; t < iters; ++t) {
+        snapshots.push_back(grid);
+        std::vector<std::int32_t> next(s * s, 0);
+        for (std::size_t i = 1; i <= dim; ++i) {
+            for (std::size_t j = 1; j <= dim; ++j) {
+                const std::int64_t sum =
+                    std::int64_t(grid[i * s + j]) + grid[i * s + j - 1] +
+                    grid[i * s + j + 1] + grid[(i - 1) * s + j] +
+                    grid[(i + 1) * s + j];
+                next[i * s + j] = std::int32_t(
+                    (std::uint32_t(std::int32_t(sum)) * 6554u) >> 15);
+            }
+        }
+        grid.swap(next);
+    }
+    ref = grid;
+}
+
+void
+Jacobi2dWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (unsigned t = 0; t < iters; ++t) {
+        const unsigned src = t & 1;
+        const unsigned dst = 1 - src;
+        for (std::size_t i = 1; i <= dim; ++i) {
+            for (std::size_t j = 1; j <= dim; ++j) {
+                e.load(gridAddr(src, i, j), 5, 2);
+                e.load(gridAddr(src, i, j - 1), 6, 2);
+                e.load(gridAddr(src, i, j + 1), 7, 2);
+                e.load(gridAddr(src, i - 1, j), 8, 2);
+                e.load(gridAddr(src, i + 1, j), 9, 2);
+                e.alu(10, 5, 6);
+                e.alu(10, 10, 7);
+                e.alu(10, 10, 8);
+                e.alu(10, 10, 9);
+                e.mul(10, 10, 0);  // fixed-point scale
+                e.alu(10, 10, 0);  // shift
+                e.store(gridAddr(dst, i, j), 10, 3);
+                e.alu(1, 1, 0);
+                e.branch(1);
+            }
+        }
+    }
+}
+
+void
+Jacobi2dWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    const std::size_t s = stride();
+    for (unsigned t = 0; t < iters; ++t) {
+        const unsigned src = t & 1;
+        const unsigned dst = 1 - src;
+        const auto& snap = snapshots[t];
+        for (std::size_t i = 1; i <= dim; ++i) {
+            for (std::size_t jb = 1; jb <= dim; jb += hw_vl) {
+                const std::uint32_t vl = std::uint32_t(
+                    std::min<std::size_t>(hw_vl, dim - jb + 1));
+                e.setVl(vl);
+                e.vload(1, gridAddr(src, i, jb), vl);      // center
+                // Left/right neighbours via slides with halo values.
+                const std::int64_t left_in = snap[i * s + jb - 1];
+                const std::int64_t right_in = snap[i * s + jb + vl];
+                e.vx(Op::VSlide1Up, 2, 1, left_in, vl);
+                e.vx(Op::VSlide1Down, 3, 1, right_in, vl);
+                e.vload(4, gridAddr(src, i - 1, jb), vl);  // up
+                e.vload(5, gridAddr(src, i + 1, jb), vl);  // down
+                e.vv(Op::VAdd, 6, 1, 2, vl);
+                e.vv(Op::VAdd, 6, 6, 3, vl);
+                e.vv(Op::VAdd, 6, 6, 4, vl);
+                e.vv(Op::VAdd, 6, 6, 5, vl);
+                e.vx(Op::VMul, 6, 6, 6554, vl);
+                e.vx(Op::VSrl, 6, 6, 15, vl);
+                e.vstore(6, gridAddr(dst, i, jb), vl);
+                e.stripOverhead(2);
+            }
+        }
+    }
+}
+
+std::uint64_t
+Jacobi2dWorkload::verify() const
+{
+    const unsigned final_grid = iters & 1;
+    const std::size_t s = stride();
+    std::uint64_t bad = 0;
+    for (std::size_t i = 1; i <= dim; ++i)
+        for (std::size_t j = 1; j <= dim; ++j)
+            if (mem.load32(gridAddr(final_grid, i, j)) !=
+                ref[i * s + j])
+                ++bad;
+    return bad;
+}
+
+} // namespace eve

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * jacobi-2d (RiVEC): iterative 5-point stencil on an integer grid.
+ * out = (c + l + r + u + d) * 6554 >> 15 (fixed-point divide by 5).
+ * Left/right neighbours come from slides (cross-element ops), making
+ * this the paper's compute-rich stencil with xe traffic.
+ */
+
+#ifndef EVE_WORKLOADS_JACOBI2D_HH
+#define EVE_WORKLOADS_JACOBI2D_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The jacobi-2d kernel. */
+class Jacobi2dWorkload : public Workload
+{
+  public:
+    explicit Jacobi2dWorkload(std::size_t dim = 512,
+                              unsigned iters = 4);
+
+    std::string name() const override { return "jacobi-2d"; }
+    std::string suite() const override { return "rivec"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    // Two ping-pong grids with a one-cell halo all around.
+    std::size_t stride() const { return dim + 2; }
+    Addr gridAddr(unsigned which, std::size_t i, std::size_t j) const
+    {
+        return Addr(which * stride() * stride() + i * stride() + j) * 4;
+    }
+
+    std::size_t dim;
+    unsigned iters;
+    std::vector<std::int32_t> ref;  ///< final interior snapshot
+    /** Grid snapshot before each iteration (for slide-in values). */
+    std::vector<std::vector<std::int32_t>> snapshots;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_JACOBI2D_HH

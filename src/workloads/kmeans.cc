@@ -1,0 +1,246 @@
+#include <algorithm>
+
+#include "workloads/kmeans.hh"
+
+#include <limits>
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+namespace
+{
+constexpr std::int32_t kMaxDist =
+    std::numeric_limits<std::int32_t>::max();
+} // namespace
+
+KmeansWorkload::KmeansWorkload(std::size_t npoints, std::size_t nfeat,
+                               unsigned k, unsigned iters)
+    : npoints(npoints), nfeat(nfeat), k(k), iters(iters)
+{
+}
+
+std::int32_t
+KmeansWorkload::distance(std::size_t p, const std::int32_t* c) const
+{
+    // Mixed metric matching the vector program exactly: squared
+    // difference every fourth feature, absolute difference otherwise,
+    // all in wrapping 32-bit arithmetic.
+    std::uint32_t acc = 0;
+    for (std::size_t f = 0; f < nfeat; ++f) {
+        const std::int32_t d = std::int32_t(
+            std::uint32_t(points[p * nfeat + f]) - std::uint32_t(c[f]));
+        if (f % 4 == 0) {
+            acc += std::uint32_t(d) * std::uint32_t(d);
+        } else {
+            const std::int32_t neg = std::int32_t(0u - std::uint32_t(d));
+            acc += std::uint32_t(std::max(d, neg));
+        }
+    }
+    return std::int32_t(acc);
+}
+
+void
+KmeansWorkload::init()
+{
+    mem.resize((npoints * nfeat + k * nfeat + 2 * npoints) * 4 + 64);
+    Rng rng(0x6b6d);
+    points.resize(npoints * nfeat);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        points[i] = std::int32_t(rng.below(256));
+        mem.store32(Addr(i) * 4, points[i]);
+    }
+
+    // Initial centroids: the first k points.
+    std::vector<std::int32_t> centroids(k * nfeat);
+    for (unsigned c = 0; c < k; ++c)
+        for (std::size_t f = 0; f < nfeat; ++f)
+            centroids[c * nfeat + f] = points[c * nfeat + f];
+    for (std::size_t i = 0; i < centroids.size(); ++i)
+        mem.store32(Addr(npoints * nfeat + i) * 4, centroids[i]);
+
+    // Reference: run the fixed-iteration algorithm.
+    centroidIter.clear();
+    refAssign.assign(npoints, 0);
+    refDist.assign(npoints, 0);
+    for (unsigned it = 0; it < iters; ++it) {
+        centroidIter.push_back(centroids);
+        for (std::size_t p = 0; p < npoints; ++p) {
+            std::int32_t best = kMaxDist;
+            std::int32_t best_c = 0;
+            for (unsigned c = 0; c < k; ++c) {
+                const std::int32_t d =
+                    distance(p, &centroids[c * nfeat]);
+                if (d < best) {
+                    best = d;
+                    best_c = std::int32_t(c);
+                }
+            }
+            refAssign[p] = best_c;
+            refDist[p] = best;
+        }
+        // Update: integer mean of the members.
+        std::vector<std::int64_t> sums(k * nfeat, 0);
+        std::vector<std::int64_t> counts(k, 0);
+        for (std::size_t p = 0; p < npoints; ++p) {
+            const unsigned c = unsigned(refAssign[p]);
+            ++counts[c];
+            for (std::size_t f = 0; f < nfeat; ++f)
+                sums[c * nfeat + f] += points[p * nfeat + f];
+        }
+        for (unsigned c = 0; c < k; ++c)
+            if (counts[c] > 0)
+                for (std::size_t f = 0; f < nfeat; ++f)
+                    centroids[c * nfeat + f] = std::int32_t(
+                        sums[c * nfeat + f] / counts[c]);
+    }
+}
+
+void
+KmeansWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (unsigned it = 0; it < iters; ++it) {
+        // Assignment.
+        for (std::size_t p = 0; p < npoints; ++p) {
+            for (unsigned c = 0; c < k; ++c) {
+                for (std::size_t f = 0; f < nfeat; ++f) {
+                    e.load(pointAddr(p, f), 5, 2);
+                    e.load(centroidAddr(c, f), 6, 3);
+                    e.alu(7, 5, 6);  // diff
+                    if (f % 4 == 0)
+                        e.mul(7, 7, 7);
+                    else
+                        e.alu(7, 7, 0);  // abs
+                    e.alu(8, 8, 7);      // accumulate
+                    e.branch(1);
+                }
+                e.alu(9, 9, 8);  // best compare
+                e.branch(9);
+            }
+            e.store(assignAddr(p), 9, 4);
+            e.store(distAddr(p), 8, 4);
+        }
+        // Update.
+        for (std::size_t p = 0; p < npoints; ++p) {
+            e.load(assignAddr(p), 5, 2);
+            for (std::size_t f = 0; f < nfeat; ++f) {
+                e.load(pointAddr(p, f), 6, 3);
+                e.alu(7, 7, 6);
+                e.branch(1);
+            }
+        }
+    }
+}
+
+void
+KmeansWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    const std::int64_t fstride = std::int64_t(nfeat) * 4;
+    std::vector<std::uint32_t> offsets;
+    for (unsigned it = 0; it < iters; ++it) {
+        const auto& cent = centroidIter[it];
+        // ----- assignment phase -------------------------------------
+        for (std::size_t pb = 0; pb < npoints; pb += hw_vl) {
+            const std::uint32_t vl = std::uint32_t(
+                std::min<std::size_t>(hw_vl, npoints - pb));
+            e.setVl(vl);
+            e.vx(Op::VMvVX, 20, 0, kMaxDist, vl);  // best distance
+            e.vx(Op::VMvVX, 21, 0, 0, vl);         // best cluster
+            for (unsigned c = 0; c < k; ++c) {
+                e.vx(Op::VMvVX, 22, 0, 0, vl);     // accumulator
+                for (std::size_t f = 0; f < nfeat; ++f) {
+                    e.vloadStrided(23, pointAddr(pb, f), fstride, vl);
+                    e.vx(Op::VSub, 24, 23, cent[c * nfeat + f], vl);
+                    if (f % 4 == 0) {
+                        e.vv(Op::VMacc, 22, 24, 24, vl);
+                    } else {
+                        e.vx(Op::VRsub, 25, 24, 0, vl);
+                        e.vv(Op::VMax, 24, 24, 25, vl);
+                        e.vv(Op::VAdd, 22, 22, 24, vl);
+                    }
+                    e.alu(1, 1, 0);
+                    e.branch(1);
+                }
+                e.vv(Op::VMslt, 0, 22, 20, vl);       // closer?
+                e.vv(Op::VMerge, 20, 22, 20, vl);     // best distance
+                e.vx(Op::VMvVX, 26, 0, c, vl);        // cluster id
+                e.vv(Op::VMerge, 21, 26, 21, vl);     // best cluster
+                e.branch(9);
+            }
+            e.vstore(21, assignAddr(pb), vl);
+            e.vstore(20, distAddr(pb), vl);
+            // Gather the assigned centroid's first feature (indexed
+            // load; offsets replay the reference assignment).
+            e.vx(Op::VMul, 27, 21, std::int64_t(nfeat) * 4, vl);
+            offsets.resize(vl);
+            for (std::uint32_t i = 0; i < vl; ++i)
+                offsets[i] = std::uint32_t(refAssign[pb + i]) *
+                             std::uint32_t(nfeat) * 4;
+            e.vloadIndexed(28, centroidAddr(0, 0), offsets, 27);
+            e.stripOverhead(3);
+        }
+        // ----- update phase (masked reductions through the VRU) -----
+        for (unsigned c = 0; c < k; ++c) {
+            // Member count: reduce the match mask itself.
+            e.setVl(std::uint32_t(std::min<std::size_t>(hw_vl,
+                                                        npoints)));
+            e.vx(Op::VMvVX, 29, 0, 0,
+                 std::uint32_t(std::min<std::size_t>(hw_vl, npoints)));
+            for (std::size_t pb = 0; pb < npoints; pb += hw_vl) {
+                const std::uint32_t vl = std::uint32_t(
+                    std::min<std::size_t>(hw_vl, npoints - pb));
+                e.setVl(vl);
+                e.vload(30, assignAddr(pb), vl);
+                e.vx(Op::VMseq, 31, 30, c, vl);
+                e.vv(Op::VRedSum, 29, 31, 29, vl);
+                e.stripOverhead(1);
+            }
+            Instr mv;
+            mv.op = Op::VMvXS;
+            mv.src1 = 29;
+            mv.vl = 1;
+            sink.consume(mv);
+            // Feature sums: masked reductions, accumulated in the
+            // destination's element 0 across strips.
+            for (std::size_t f = 0; f < nfeat; f += 8) {
+                e.setVl(std::uint32_t(std::min<std::size_t>(hw_vl,
+                                                            npoints)));
+                e.vx(Op::VMvVX, 29, 0, 0,
+                     std::uint32_t(std::min<std::size_t>(hw_vl,
+                                                         npoints)));
+                for (std::size_t pb = 0; pb < npoints; pb += hw_vl) {
+                    const std::uint32_t vl = std::uint32_t(
+                        std::min<std::size_t>(hw_vl, npoints - pb));
+                    e.setVl(vl);
+                    e.vload(30, assignAddr(pb), vl);
+                    e.vx(Op::VMseq, 0, 30, c, vl);
+                    e.vloadStrided(23, pointAddr(pb, f), fstride, vl);
+                    e.vv(Op::VRedSum, 29, 23, 29, vl, true);
+                    e.stripOverhead(1);
+                }
+                sink.consume(mv);
+                // New centroid: a handful of scalar ops.
+                e.mul(7, 7, 5);
+                e.alu(7, 7, 0);
+            }
+        }
+    }
+}
+
+std::uint64_t
+KmeansWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t p = 0; p < npoints; ++p) {
+        if (mem.load32(assignAddr(p)) != refAssign[p])
+            ++bad;
+        if (mem.load32(distAddr(p)) != refDist[p])
+            ++bad;
+    }
+    return bad;
+}
+
+} // namespace eve

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * k-means (Rodinia, integer variant): assignment of points to the
+ * nearest centroid plus a centroid update, iterated a fixed number
+ * of times. Vectorized over points: feature columns load with a
+ * constant stride (the points are row-major), the nearest-centroid
+ * search is predicated compare/merge, a gather samples the assigned
+ * centroid (indexed load), and the update phase uses masked
+ * reductions through the VRU.
+ */
+
+#ifndef EVE_WORKLOADS_KMEANS_HH
+#define EVE_WORKLOADS_KMEANS_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The k-means kernel. */
+class KmeansWorkload : public Workload
+{
+  public:
+    explicit KmeansWorkload(std::size_t npoints = 16384,
+                            std::size_t nfeat = 34, unsigned k = 5,
+                            unsigned iters = 3);
+
+    std::string name() const override { return "k-means"; }
+    std::string suite() const override { return "rodinia"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr pointAddr(std::size_t p, std::size_t f) const
+    {
+        return Addr(p * nfeat + f) * 4;
+    }
+    Addr centroidAddr(unsigned c, std::size_t f) const
+    {
+        return Addr(npoints * nfeat + c * nfeat + f) * 4;
+    }
+    Addr assignAddr(std::size_t p) const
+    {
+        return Addr(npoints * nfeat + k * nfeat + p) * 4;
+    }
+    Addr distAddr(std::size_t p) const
+    {
+        return Addr(npoints * nfeat + k * nfeat + npoints + p) * 4;
+    }
+
+    /** Distance with the exact wrapping arithmetic of the program. */
+    std::int32_t distance(std::size_t p, const std::int32_t* centroid)
+        const;
+
+    std::size_t npoints;
+    std::size_t nfeat;
+    unsigned k;
+    unsigned iters;
+    std::vector<std::int32_t> points;
+    /** Centroid snapshot entering each iteration. */
+    std::vector<std::vector<std::int32_t>> centroidIter;
+    std::vector<std::int32_t> refAssign;
+    std::vector<std::int32_t> refDist;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_KMEANS_HH

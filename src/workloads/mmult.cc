@@ -1,0 +1,95 @@
+#include "workloads/mmult.hh"
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+MmultWorkload::MmultWorkload(std::size_t m, std::size_t k, std::size_t n)
+    : mDim(m), kDim(k), nDim(n)
+{
+}
+
+void
+MmultWorkload::init()
+{
+    mem.resize((mDim * kDim + kDim * nDim + mDim * nDim) * 4 + 64);
+    Rng rng(0x3347);
+    a.resize(mDim * kDim);
+    std::vector<std::int32_t> b(kDim * nDim);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = std::int32_t(rng.range(-100, 100));
+        mem.store32(Addr(i) * 4, a[i]);
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        b[i] = std::int32_t(rng.range(-100, 100));
+        mem.store32(Addr(mDim * kDim + i) * 4, b[i]);
+    }
+    refC.assign(mDim * nDim, 0);
+    for (std::size_t i = 0; i < mDim; ++i)
+        for (std::size_t kk = 0; kk < kDim; ++kk) {
+            const std::uint32_t aik = std::uint32_t(a[i * kDim + kk]);
+            for (std::size_t j = 0; j < nDim; ++j)
+                refC[i * nDim + j] = std::int32_t(
+                    std::uint32_t(refC[i * nDim + j]) +
+                    aik * std::uint32_t(b[kk * nDim + j]));
+        }
+}
+
+void
+MmultWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t i = 0; i < mDim; ++i) {
+        for (std::size_t j = 0; j < nDim; ++j) {
+            for (std::size_t kk = 0; kk < kDim; ++kk) {
+                e.load(aAddr(i, kk), 5, 2);
+                e.load(bAddr(kk, j), 6, 3);
+                e.mul(7, 5, 6);
+                e.alu(8, 8, 7);  // accumulate
+                e.alu(1, 1, 0);  // k counter
+                e.branch(1);
+            }
+            e.store(cAddr(i, j), 8, 4);
+            e.alu(4, 4, 0);
+            e.branch(9);
+        }
+    }
+}
+
+void
+MmultWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    for (std::size_t i = 0; i < mDim; ++i) {
+        for (std::size_t jb = 0; jb < nDim; jb += hw_vl) {
+            const std::uint32_t vl =
+                std::uint32_t(std::min<std::size_t>(hw_vl, nDim - jb));
+            e.setVl(vl);
+            e.vx(Op::VMvVX, 8, 0, 0, vl);  // acc = 0
+            for (std::size_t kk = 0; kk < kDim; ++kk) {
+                e.load(aAddr(i, kk), 5, 2);               // scalar a
+                e.vx(Op::VMvVX, 9, 0, a[i * kDim + kk], vl);
+                e.vload(10, bAddr(kk, jb), vl);           // row of B
+                e.vv(Op::VMacc, 8, 9, 10, vl);            // acc += a*b
+                e.alu(1, 1, 0);
+                e.branch(1);
+            }
+            e.vstore(8, cAddr(i, jb), vl);
+            e.stripOverhead(2);
+        }
+    }
+}
+
+std::uint64_t
+MmultWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t i = 0; i < mDim * nDim; ++i)
+        if (mem.load32(Addr(mDim * kDim + kDim * nDim + i) * 4) !=
+            refC[i])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

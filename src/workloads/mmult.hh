@@ -1,0 +1,55 @@
+/**
+ * @file
+ * mmult: dense integer matrix multiply C[m x n] = A[m x k] x B[k x n]
+ * (the paper's compute-bound micro-kernel). Vectorized along C's
+ * rows (the wide n dimension, so long-vector machines run at full
+ * hardware vector length, like the paper's 1024-wide input) with a
+ * broadcast of A's element at each k step.
+ */
+
+#ifndef EVE_WORKLOADS_MMULT_HH
+#define EVE_WORKLOADS_MMULT_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The mmult kernel. */
+class MmultWorkload : public Workload
+{
+  public:
+    MmultWorkload(std::size_t m = 8, std::size_t k = 256,
+                  std::size_t n = 4096);
+
+    std::string name() const override { return "mmult"; }
+    std::string suite() const override { return "kernel"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr aAddr(std::size_t i, std::size_t kk) const
+    {
+        return Addr(i * kDim + kk) * 4;
+    }
+    Addr bAddr(std::size_t kk, std::size_t j) const
+    {
+        return Addr(mDim * kDim + kk * nDim + j) * 4;
+    }
+    Addr cAddr(std::size_t i, std::size_t j) const
+    {
+        return Addr(mDim * kDim + kDim * nDim + i * nDim + j) * 4;
+    }
+
+    std::size_t mDim;
+    std::size_t kDim;
+    std::size_t nDim;
+    std::vector<std::int32_t> a;
+    std::vector<std::int32_t> refC;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_MMULT_HH

@@ -1,0 +1,120 @@
+#include "workloads/pathfinder.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+namespace
+{
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max() / 2;
+} // namespace
+
+PathfinderWorkload::PathfinderWorkload(std::size_t cols, std::size_t rows)
+    : cols(cols), rows(rows)
+{
+}
+
+void
+PathfinderWorkload::init()
+{
+    mem.resize((rows + 2) * cols * 4 + 64);
+    Rng rng(0xfade);
+    wall.resize(rows * cols);
+    for (std::size_t i = 0; i < rows * cols; ++i) {
+        wall[i] = std::int32_t(rng.below(10));
+        mem.store32(Addr(i) * 4, wall[i]);
+    }
+    // DP buffers: buffer 0 starts as wall row 0.
+    std::vector<std::int32_t> cur(wall.begin(), wall.begin() + cols);
+    for (std::size_t j = 0; j < cols; ++j)
+        mem.store32(bufAddr(0, j), cur[j]);
+    for (std::size_t r = 1; r < rows; ++r) {
+        std::vector<std::int32_t> next(cols);
+        for (std::size_t j = 0; j < cols; ++j) {
+            const std::int32_t left = j > 0 ? cur[j - 1] : kInf;
+            const std::int32_t right = j + 1 < cols ? cur[j + 1] : kInf;
+            next[j] = wall[r * cols + j] +
+                      std::min(cur[j], std::min(left, right));
+        }
+        cur.swap(next);
+    }
+    refResult = cur;
+}
+
+void
+PathfinderWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t r = 1; r < rows; ++r) {
+        const unsigned src = (r - 1) & 1;
+        const unsigned dst = r & 1;
+        for (std::size_t j = 0; j < cols; ++j) {
+            if (j > 0)
+                e.load(bufAddr(src, j - 1), 5, 2);
+            e.load(bufAddr(src, j), 6, 2);
+            if (j + 1 < cols)
+                e.load(bufAddr(src, j + 1), 7, 2);
+            e.alu(8, 5, 6);  // min
+            e.alu(8, 8, 7);  // min
+            e.load(wallAddr(r, j), 9, 3);
+            e.alu(8, 8, 9);  // add
+            e.store(bufAddr(dst, j), 8, 4);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+    }
+}
+
+void
+PathfinderWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    for (std::size_t r = 1; r < rows; ++r) {
+        const unsigned src = (r - 1) & 1;
+        const unsigned dst = r & 1;
+        // v0 = all-active predicate for the masked min updates.
+        e.setVl(std::uint32_t(std::min<std::size_t>(hw_vl, cols)));
+        e.vx(Op::VMvVX, 0, 0, 1,
+             std::uint32_t(std::min<std::size_t>(hw_vl, cols)));
+        for (std::size_t jb = 0; jb < cols; jb += hw_vl) {
+            const std::uint32_t vl =
+                std::uint32_t(std::min<std::size_t>(hw_vl, cols - jb));
+            e.setVl(vl);
+            e.vload(1, bufAddr(src, jb), vl);  // center
+            // Left neighbour: slide up, injecting the element before
+            // the strip (or INF at the grid edge).
+            const std::int64_t left_in =
+                jb > 0 ? mem.load32(bufAddr(src, jb - 1)) : kInf;
+            e.vx(Op::VSlide1Up, 2, 1, left_in, vl);
+            // Right neighbour: slide down, injecting the element
+            // after the strip (or INF at the grid edge).
+            const std::int64_t right_in =
+                jb + vl < cols ? mem.load32(bufAddr(src, jb + vl))
+                               : kInf;
+            e.vx(Op::VSlide1Down, 3, 1, right_in, vl);
+            e.vv(Op::VMin, 4, 2, 3, vl, true);   // predicated min
+            e.vv(Op::VMin, 4, 4, 1, vl, true);
+            e.vload(5, wallAddr(r, jb), vl);
+            e.vv(Op::VAdd, 6, 4, 5, vl);
+            e.vstore(6, bufAddr(dst, jb), vl);
+            e.stripOverhead(3);
+        }
+    }
+}
+
+std::uint64_t
+PathfinderWorkload::verify() const
+{
+    const unsigned final_buf = (rows - 1) & 1;
+    std::uint64_t bad = 0;
+    for (std::size_t j = 0; j < cols; ++j)
+        if (mem.load32(bufAddr(final_buf, j)) != refResult[j])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

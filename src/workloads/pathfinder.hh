@@ -1,0 +1,50 @@
+/**
+ * @file
+ * pathfinder (Rodinia): dynamic-programming grid traversal. Each row
+ * update is dst[j] = wall[r][j] + min(src[j-1], src[j], src[j+1]);
+ * the vector version uses slides for the strip boundaries and
+ * predication, making it both memory-streaming and
+ * transpose-sensitive on EVE (Section VII-B).
+ */
+
+#ifndef EVE_WORKLOADS_PATHFINDER_HH
+#define EVE_WORKLOADS_PATHFINDER_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The pathfinder kernel. */
+class PathfinderWorkload : public Workload
+{
+  public:
+    explicit PathfinderWorkload(std::size_t cols = 262144,
+                                std::size_t rows = 10);
+
+    std::string name() const override { return "pathfinder"; }
+    std::string suite() const override { return "rodinia"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr wallAddr(std::size_t r, std::size_t j) const
+    {
+        return Addr(r * cols + j) * 4;
+    }
+    Addr bufAddr(unsigned which, std::size_t j) const
+    {
+        return Addr(rows * cols + which * cols + j) * 4;
+    }
+
+    std::size_t cols;
+    std::size_t rows;
+    std::vector<std::int32_t> wall;           ///< row-major costs
+    std::vector<std::int32_t> refResult;      ///< final DP row
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_PATHFINDER_HH

@@ -1,0 +1,80 @@
+#include "workloads/scan.hh"
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+
+namespace eve
+{
+
+ScanWorkload::ScanWorkload(std::size_t n) : n(n)
+{
+}
+
+void
+ScanWorkload::init()
+{
+    mem.resize(2 * n * 4 + 64);
+    Rng rng(0x5ca9);
+    ref.resize(n);
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t v = std::int32_t(rng.range(-100, 100));
+        mem.store32(inAddr(i), v);
+        acc += std::uint32_t(v);
+        ref[i] = std::int32_t(acc);
+    }
+}
+
+void
+ScanWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t i = 0; i < n; ++i) {
+        e.load(inAddr(i), 5, 2);
+        e.alu(6, 6, 5);  // running sum
+        e.store(outAddr(i), 6, 3);
+        e.alu(1, 1, 0);
+        e.branch(1);
+    }
+}
+
+void
+ScanWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    bool have_carry = false;
+    for (std::size_t ib = 0; ib < n; ib += hw_vl) {
+        const std::uint32_t vl =
+            std::uint32_t(std::min<std::size_t>(hw_vl, n - ib));
+        e.setVl(vl);
+        e.vload(1, inAddr(ib), vl);
+        // Hillis-Steele in-strip inclusive scan: log2(vl) rounds of
+        // slide-up + add (the slid-in gap holds zeros, so the add is
+        // unconditional).
+        for (std::uint32_t d = 1; d < vl; d *= 2) {
+            e.vx(Op::VMvVX, 2, 0, 0, vl);
+            e.vx(Op::VSlideUp, 2, 1, std::int64_t(d), vl);
+            e.vv(Op::VAdd, 1, 1, 2, vl);
+        }
+        // Carry the running total across strips.
+        if (have_carry)
+            e.vv(Op::VAdd, 1, 1, 20, vl);
+        e.vstore(1, outAddr(ib), vl);
+        // Broadcast the strip total into the carry register.
+        e.vx(Op::VRgather, 20, 1, std::int64_t(vl - 1), vl);
+        have_carry = true;
+        e.stripOverhead(2);
+    }
+}
+
+std::uint64_t
+ScanWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (mem.load32(outAddr(i)) != ref[i])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

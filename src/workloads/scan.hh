@@ -1,0 +1,40 @@
+/**
+ * @file
+ * scan (extension workload): inclusive prefix sum via the
+ * Hillis-Steele log-step algorithm within strips plus a carried
+ * offset across strips. Every log step is a vslideup + masked add —
+ * a cross-element stress test for the VRU path.
+ */
+
+#ifndef EVE_WORKLOADS_SCAN_HH
+#define EVE_WORKLOADS_SCAN_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The prefix-sum kernel. */
+class ScanWorkload : public Workload
+{
+  public:
+    explicit ScanWorkload(std::size_t n = 1 << 18);
+
+    std::string name() const override { return "scan"; }
+    std::string suite() const override { return "extension"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr inAddr(std::size_t i) const { return Addr(i) * 4; }
+    Addr outAddr(std::size_t i) const { return Addr(n + i) * 4; }
+
+    std::size_t n;
+    std::vector<std::int32_t> ref;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_SCAN_HH

@@ -1,0 +1,106 @@
+#include "workloads/spmv.hh"
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+SpmvWorkload::SpmvWorkload(std::size_t rows, std::size_t nnz_per_row)
+    : rows(rows), nnzPerRow(nnz_per_row)
+{
+}
+
+void
+SpmvWorkload::init()
+{
+    mem.resize((2 * nnz() + 2 * rows) * 4 + 64);
+    Rng rng(0x59e5);
+    cols.resize(nnz());
+    std::vector<std::int32_t> vals(nnz());
+    std::vector<std::int32_t> x(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        x[i] = std::int32_t(rng.range(-50, 50));
+        mem.store32(xAddr(i), x[i]);
+    }
+    for (std::size_t i = 0; i < nnz(); ++i) {
+        vals[i] = std::int32_t(rng.range(-20, 20));
+        cols[i] = std::int32_t(rng.below(rows));
+        mem.store32(valAddr(i), vals[i]);
+        mem.store32(colAddr(i), cols[i]);
+    }
+    refY.assign(rows, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::uint32_t acc = 0;
+        for (std::size_t j = 0; j < nnzPerRow; ++j) {
+            const std::size_t i = r * nnzPerRow + j;
+            acc += std::uint32_t(vals[i]) *
+                   std::uint32_t(x[std::size_t(cols[i])]);
+        }
+        refY[r] = std::int32_t(acc);
+    }
+}
+
+void
+SpmvWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t j = 0; j < nnzPerRow; ++j) {
+            const std::size_t i = r * nnzPerRow + j;
+            e.load(valAddr(i), 5, 2);
+            e.load(colAddr(i), 6, 2);
+            e.alu(6, 6, 0);  // scale index
+            e.load(xAddr(std::size_t(cols[i])), 7, 6);
+            e.mul(8, 5, 7);
+            e.alu(9, 9, 8);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+        e.store(yAddr(r), 9, 4);
+    }
+}
+
+void
+SpmvWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    std::vector<std::uint32_t> offsets;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t base = r * nnzPerRow;
+        e.setVl(std::uint32_t(std::min<std::size_t>(hw_vl,
+                                                    nnzPerRow)));
+        e.vx(Op::VMvVX, 8, 0, 0,
+             std::uint32_t(std::min<std::size_t>(hw_vl, nnzPerRow)));
+        for (std::size_t jb = 0; jb < nnzPerRow; jb += hw_vl) {
+            const std::uint32_t vl = std::uint32_t(
+                std::min<std::size_t>(hw_vl, nnzPerRow - jb));
+            e.setVl(vl);
+            e.vload(1, valAddr(base + jb), vl);
+            e.vload(2, colAddr(base + jb), vl);
+            e.vx(Op::VSll, 3, 2, 2, vl);  // byte offsets
+            offsets.resize(vl);
+            for (std::uint32_t i = 0; i < vl; ++i)
+                offsets[i] =
+                    std::uint32_t(cols[base + jb + i]) * 4;
+            e.vloadIndexed(4, xAddr(0), offsets, 3);
+            e.vv(Op::VMul, 5, 1, 4, vl);
+            e.vv(Op::VRedSum, 8, 5, 8, vl);
+            e.stripOverhead(2);
+        }
+        e.setVl(1);
+        e.vstore(8, yAddr(r), 1);
+        e.stripOverhead(1);
+    }
+}
+
+std::uint64_t
+SpmvWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t r = 0; r < rows; ++r)
+        if (mem.load32(yAddr(r)) != refY[r])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

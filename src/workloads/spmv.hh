@@ -1,0 +1,51 @@
+/**
+ * @file
+ * spmv (extension workload): sparse matrix-vector product in CSR
+ * form, y = A x. The gather of x through the column-index array is
+ * the canonical indexed-load stress test; rows are processed as
+ * strips of nonzeros ending in a masked reduction.
+ */
+
+#ifndef EVE_WORKLOADS_SPMV_HH
+#define EVE_WORKLOADS_SPMV_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The spmv kernel. */
+class SpmvWorkload : public Workload
+{
+  public:
+    SpmvWorkload(std::size_t rows = 2048, std::size_t nnz_per_row = 32);
+
+    std::string name() const override { return "spmv"; }
+    std::string suite() const override { return "extension"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    std::size_t nnz() const { return rows * nnzPerRow; }
+    Addr valAddr(std::size_t i) const { return Addr(i) * 4; }
+    Addr colAddr(std::size_t i) const { return Addr(nnz() + i) * 4; }
+    Addr xAddr(std::size_t i) const
+    {
+        return Addr(2 * nnz() + i) * 4;
+    }
+    Addr yAddr(std::size_t r) const
+    {
+        return Addr(2 * nnz() + rows + r) * 4;
+    }
+
+    std::size_t rows;
+    std::size_t nnzPerRow;
+    std::vector<std::int32_t> cols;
+    std::vector<std::int32_t> refY;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_SPMV_HH

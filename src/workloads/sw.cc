@@ -1,0 +1,145 @@
+#include "workloads/sw.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+SwWorkload::SwWorkload(std::size_t len) : len(len)
+{
+}
+
+void
+SwWorkload::init()
+{
+    mem.resize((2 * len + 3 * (len + 2) + 2) * 4 + 64);
+    Rng rng(0x5a5a);
+    std::vector<std::int32_t> a(len + 1), b(len + 1);
+    for (std::size_t i = 1; i <= len; ++i) {
+        a[i] = std::int32_t(rng.below(4));
+        b[i] = std::int32_t(rng.below(4));
+        mem.store32(aAddr(i - 1), a[i]);
+        mem.store32(bAddr(i - 1), b[i]);
+    }
+    // Zero the diagonal buffers and score slot.
+    for (unsigned w = 0; w < 3; ++w)
+        for (std::size_t i = 0; i < len + 2; ++i)
+            mem.store32(diagAddr(w, i), 0);
+    mem.store32(scoreAddr(), 0);
+
+    // Reference: full DP.
+    std::vector<std::int32_t> prev(len + 1, 0), cur(len + 1, 0);
+    refScore = 0;
+    std::vector<std::int32_t> diag_n(len + 1, 0);
+    for (std::size_t i = 1; i <= len; ++i) {
+        std::int32_t diag_prev = 0;  // H(i-1, 0)
+        for (std::size_t j = 1; j <= len; ++j) {
+            const std::int32_t sub =
+                a[i] == b[j] ? kMatch : kMismatch;
+            std::int32_t h = std::max(
+                {0, diag_prev + sub, prev[j] - kGap, cur[j - 1] - kGap});
+            diag_prev = prev[j];
+            cur[j] = h;
+            refScore = std::max(refScore, h);
+            if (i + j == 2 * len)
+                diag_n[i] = h;  // only (len, len)
+        }
+        prev.swap(cur);
+        cur[0] = 0;
+    }
+    refLastDiag = diag_n;
+}
+
+void
+SwWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t i = 1; i <= len; ++i) {
+        e.load(aAddr(i - 1), 5, 2);
+        const unsigned prev_buf = (i - 1) & 1;
+        const unsigned cur_buf = i & 1;
+        for (std::size_t j = 1; j <= len; ++j) {
+            e.load(bAddr(j - 1), 6, 3);
+            e.alu(7, 5, 6);   // compare -> substitution score
+            e.load(diagAddr(prev_buf, j - 1), 8, 2);
+            e.load(diagAddr(prev_buf, j), 9, 2);
+            e.alu(10, 8, 7);  // diag + sub
+            e.alu(9, 9, 0);   // up - gap
+            e.alu(11, 11, 0); // left - gap (kept in register)
+            e.alu(10, 10, 9); // max
+            e.alu(10, 10, 11);
+            e.alu(10, 10, 0); // max with 0
+            e.store(diagAddr(cur_buf, j), 10, 4);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+    }
+}
+
+void
+SwWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    const std::size_t n = len;
+    const std::uint32_t init_vl =
+        std::uint32_t(std::min<std::size_t>(hw_vl, n));
+    // Persistent registers: v10 = match, v11 = mismatch, v12 = best.
+    e.setVl(init_vl);
+    e.vx(Op::VMvVX, 10, 0, kMatch, init_vl);
+    e.vx(Op::VMvVX, 11, 0, kMismatch, init_vl);
+    e.vx(Op::VMvVX, 12, 0, 0, init_vl);
+
+    for (std::size_t d = 2; d <= 2 * n; ++d) {
+        const std::size_t ilo = d > n ? d - n : 1;
+        const std::size_t ihi = std::min(n, d - 1);
+        const unsigned cur = unsigned(d % 3);
+        const unsigned p1 = unsigned((d - 1) % 3);
+        const unsigned p2 = unsigned((d - 2) % 3);
+        for (std::size_t ib = ilo; ib <= ihi; ib += hw_vl) {
+            const std::uint32_t vl = std::uint32_t(
+                std::min<std::size_t>(hw_vl, ihi - ib + 1));
+            e.setVl(vl);
+            e.vload(1, diagAddr(p1, ib), vl);       // H(i-1, j)
+            e.vload(2, diagAddr(p1, ib - 1), vl);   // H(i, j-1)
+            e.vload(3, diagAddr(p2, ib - 1), vl);   // H(i-1, j-1)
+            e.vload(4, aAddr(ib - 1), vl);          // a[i]
+            // b[j] with j = d - i: reversed walk -> negative stride.
+            e.vloadStrided(5, bAddr(d - ib - 1), -4, vl);
+            e.vv(Op::VMseq, 0, 4, 5, vl);           // match mask
+            e.vv(Op::VMerge, 6, 10, 11, vl);        // substitution
+            e.vv(Op::VAdd, 6, 3, 6, vl);            // diag + sub
+            e.vx(Op::VAdd, 7, 1, -kGap, vl);        // up - gap
+            e.vx(Op::VAdd, 8, 2, -kGap, vl);        // left - gap
+            e.vv(Op::VMax, 6, 6, 7, vl);
+            e.vv(Op::VMax, 6, 6, 8, vl);
+            e.vx(Op::VMax, 6, 6, 0, vl);            // clamp at 0
+            e.vstore(6, diagAddr(cur, ib), vl);
+            e.vv(Op::VMax, 12, 12, 6, vl);          // running best
+            e.stripOverhead(3);
+        }
+    }
+
+    // Reduce the running best and store the score.
+    e.setVl(init_vl);
+    e.vx(Op::VMvVX, 13, 0, 0, init_vl);
+    e.vv(Op::VRedMax, 13, 12, 13, init_vl);
+    e.setVl(1);
+    e.vstore(13, scoreAddr(), 1);
+}
+
+std::uint64_t
+SwWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    if (mem.load32(scoreAddr()) != refScore)
+        ++bad;
+    // The (len, len) cell of the final diagonal.
+    const unsigned final_buf = unsigned((2 * len) % 3);
+    if (mem.load32(diagAddr(final_buf, len)) != refLastDiag[len])
+        ++bad;
+    return bad;
+}
+
+} // namespace eve

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * sw: Smith-Waterman local alignment (the paper's genomics workload).
+ * Anti-diagonal vectorization: cells of one anti-diagonal are
+ * independent, with the two previous diagonals as inputs. Query
+ * elements load unit-stride; the database sequence loads with a
+ * negative stride (reversed along the diagonal); slides provide the
+ * i-1 neighbours; the substitution score is a compare + predicated
+ * merge.
+ */
+
+#ifndef EVE_WORKLOADS_SW_HH
+#define EVE_WORKLOADS_SW_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The Smith-Waterman kernel. */
+class SwWorkload : public Workload
+{
+  public:
+    explicit SwWorkload(std::size_t len = 768);
+
+    std::string name() const override { return "sw"; }
+    std::string suite() const override { return "genomics"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    // Sequences (as int32 symbols), three rotating diagonal buffers
+    // of len+2 entries, and a one-word best-score output.
+    Addr aAddr(std::size_t i) const { return Addr(i) * 4; }
+    Addr bAddr(std::size_t j) const { return Addr(len + j) * 4; }
+    Addr diagAddr(unsigned which, std::size_t i) const
+    {
+        return Addr(2 * len + which * (len + 2) + i) * 4;
+    }
+    Addr scoreAddr() const { return Addr(2 * len + 3 * (len + 2)) * 4; }
+
+    static constexpr std::int32_t kMatch = 2;
+    static constexpr std::int32_t kMismatch = -1;
+    static constexpr std::int32_t kGap = 1;
+
+    std::size_t len;
+    std::int32_t refScore = 0;
+    std::vector<std::int32_t> refLastDiag;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_SW_HH

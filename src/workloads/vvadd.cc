@@ -1,0 +1,70 @@
+#include "workloads/vvadd.hh"
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+VvaddWorkload::VvaddWorkload(std::size_t n) : n(n)
+{
+}
+
+void
+VvaddWorkload::init()
+{
+    mem.resize(n * 12 + 64);
+    Rng rng(0xadd);
+    refC.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t a = rng.i32();
+        const std::int32_t b = rng.i32();
+        mem.store32(aAddr() + i * 4, a);
+        mem.store32(bAddr() + i * 4, b);
+        refC[i] = std::int32_t(std::uint32_t(a) + std::uint32_t(b));
+    }
+}
+
+void
+VvaddWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t i = 0; i < n; ++i) {
+        e.load(aAddr() + i * 4, 5, 2);
+        e.load(bAddr() + i * 4, 6, 3);
+        e.alu(7, 5, 6);
+        e.store(cAddr() + i * 4, 7, 4);
+        e.alu(2, 2, 0);  // pointer bumps
+        e.alu(3, 3, 0);
+        e.alu(4, 4, 0);
+        e.alu(1, 1, 0);  // counter
+        e.branch(1);
+    }
+}
+
+void
+VvaddWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    for (std::size_t base = 0; base < n; base += hw_vl) {
+        const std::uint32_t vl =
+            std::uint32_t(std::min<std::size_t>(hw_vl, n - base));
+        e.setVl(vl);
+        e.vload(1, aAddr() + base * 4, vl);
+        e.vload(2, bAddr() + base * 4, vl);
+        e.vv(Op::VAdd, 3, 1, 2, vl);
+        e.vstore(3, cAddr() + base * 4, vl);
+        e.stripOverhead(3);
+    }
+}
+
+std::uint64_t
+VvaddWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (mem.load32(cAddr() + i * 4) != refC[i])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

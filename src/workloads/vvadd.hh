@@ -1,0 +1,39 @@
+/**
+ * @file
+ * vvadd: element-wise vector addition C = A + B (the paper's
+ * memory-bound micro-kernel).
+ */
+
+#ifndef EVE_WORKLOADS_VVADD_HH
+#define EVE_WORKLOADS_VVADD_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+/** The vvadd kernel. */
+class VvaddWorkload : public Workload
+{
+  public:
+    explicit VvaddWorkload(std::size_t n = std::size_t{1} << 20);
+
+    std::string name() const override { return "vvadd"; }
+    std::string suite() const override { return "kernel"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr aAddr() const { return 0; }
+    Addr bAddr() const { return Addr(n) * 4; }
+    Addr cAddr() const { return Addr(n) * 8; }
+
+    std::size_t n;
+    std::vector<std::int32_t> refC;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_VVADD_HH

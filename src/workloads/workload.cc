@@ -1,0 +1,62 @@
+#include "workloads/workload.hh"
+
+#include "workloads/backprop.hh"
+#include "workloads/fir.hh"
+#include "workloads/jacobi2d.hh"
+#include "workloads/kmeans.hh"
+#include "workloads/mmult.hh"
+#include "workloads/pathfinder.hh"
+#include "workloads/scan.hh"
+#include "workloads/spmv.hh"
+#include "workloads/sw.hh"
+#include "workloads/vvadd.hh"
+
+namespace eve
+{
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string& name, bool small)
+{
+    if (name == "vvadd")
+        return std::make_unique<VvaddWorkload>(small ? 4096 : 1 << 20);
+    if (name == "mmult")
+        return small ? std::make_unique<MmultWorkload>(4, 32, 64)
+                     : std::make_unique<MmultWorkload>();
+    if (name == "k-means" || name == "kmeans")
+        return small ? std::make_unique<KmeansWorkload>(1024, 34, 5, 2)
+                     : std::make_unique<KmeansWorkload>();
+    if (name == "pathfinder")
+        return small ? std::make_unique<PathfinderWorkload>(2048, 6)
+                     : std::make_unique<PathfinderWorkload>();
+    if (name == "jacobi-2d" || name == "jacobi2d")
+        return small ? std::make_unique<Jacobi2dWorkload>(64, 2)
+                     : std::make_unique<Jacobi2dWorkload>(2048, 1);
+    if (name == "backprop")
+        return small ? std::make_unique<BackpropWorkload>(512, 32)
+                     : std::make_unique<BackpropWorkload>();
+    if (name == "sw")
+        return std::make_unique<SwWorkload>(small ? 128 : 2048);
+    // Extension workloads (not part of the paper's Table IV).
+    if (name == "spmv")
+        return small ? std::make_unique<SpmvWorkload>(128, 16)
+                     : std::make_unique<SpmvWorkload>();
+    if (name == "fir")
+        return small ? std::make_unique<FirWorkload>(2048, 8)
+                     : std::make_unique<FirWorkload>();
+    if (name == "scan")
+        return small ? std::make_unique<ScanWorkload>(4096)
+                     : std::make_unique<ScanWorkload>();
+    return nullptr;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads(bool small)
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    for (const char* name : {"vvadd", "mmult", "k-means", "pathfinder",
+                             "jacobi-2d", "backprop", "sw"})
+        all.push_back(makeWorkload(name, small));
+    return all;
+}
+
+} // namespace eve

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Workload framework: each benchmark kernel owns a flat byte memory,
+ * computes a plain-C++ reference, and emits two dynamic instruction
+ * streams — the scalar version and the vector version (strip-mined
+ * at the consuming system's hardware vector length).
+ *
+ * The emitted vector stream is also *executed* (by attaching a
+ * VecMachine to the sink), so every timing run doubles as a
+ * functional check: verify() compares the memory contents produced by
+ * the vector program against the reference.
+ *
+ * Generators never depend on values computed by the vector program;
+ * where data-dependent addresses are needed (k-means gathers), they
+ * read the precomputed reference state, exactly like a trace-driven
+ * simulator replaying a recorded execution.
+ */
+
+#ifndef EVE_WORKLOADS_WORKLOAD_HH
+#define EVE_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/functional.hh"
+#include "isa/instr.hh"
+
+namespace eve
+{
+
+/** Emission helper bound to one sink. */
+class Emit
+{
+  public:
+    explicit Emit(InstrSink& sink) : sink(sink) {}
+
+    // ----- scalar ------------------------------------------------------
+
+    void
+    alu(unsigned dst = 1, unsigned s1 = 1, unsigned s2 = 0)
+    {
+        Instr i;
+        i.op = Op::SAlu;
+        i.dst = std::uint8_t(dst);
+        i.src1 = std::uint8_t(s1);
+        i.src2 = std::uint8_t(s2);
+        sink.consume(i);
+    }
+
+    void
+    mul(unsigned dst, unsigned s1, unsigned s2)
+    {
+        Instr i;
+        i.op = Op::SMul;
+        i.dst = std::uint8_t(dst);
+        i.src1 = std::uint8_t(s1);
+        i.src2 = std::uint8_t(s2);
+        sink.consume(i);
+    }
+
+    void
+    load(Addr addr, unsigned dst, unsigned addr_reg = 2)
+    {
+        Instr i;
+        i.op = Op::SLoad;
+        i.dst = std::uint8_t(dst);
+        i.src1 = std::uint8_t(addr_reg);
+        i.addr = addr;
+        sink.consume(i);
+    }
+
+    void
+    store(Addr addr, unsigned src, unsigned addr_reg = 2)
+    {
+        Instr i;
+        i.op = Op::SStore;
+        i.src1 = std::uint8_t(addr_reg);
+        i.src2 = std::uint8_t(src);
+        i.addr = addr;
+        sink.consume(i);
+    }
+
+    void
+    branch(unsigned cond_reg = 1)
+    {
+        Instr i;
+        i.op = Op::SBranch;
+        i.src1 = std::uint8_t(cond_reg);
+        sink.consume(i);
+    }
+
+    // ----- vector ------------------------------------------------------
+
+    void
+    setVl(std::uint32_t vl)
+    {
+        Instr i;
+        i.op = Op::VSetVl;
+        i.imm = vl;
+        i.vl = vl;
+        sink.consume(i);
+    }
+
+    void
+    vv(Op op, unsigned dst, unsigned s1, unsigned s2, std::uint32_t vl,
+       bool masked = false)
+    {
+        Instr i;
+        i.op = op;
+        i.dst = std::uint8_t(dst);
+        i.src1 = std::uint8_t(s1);
+        i.src2 = std::uint8_t(s2);
+        i.vl = vl;
+        i.masked = masked;
+        sink.consume(i);
+    }
+
+    void
+    vx(Op op, unsigned dst, unsigned s1, std::int64_t scalar,
+       std::uint32_t vl, bool masked = false)
+    {
+        Instr i;
+        i.op = op;
+        i.dst = std::uint8_t(dst);
+        i.src1 = std::uint8_t(s1);
+        i.usesScalar = true;
+        i.imm = scalar;
+        i.vl = vl;
+        i.masked = masked;
+        sink.consume(i);
+    }
+
+    void
+    vload(unsigned dst, Addr addr, std::uint32_t vl, bool masked = false)
+    {
+        Instr i;
+        i.op = Op::VLoad;
+        i.dst = std::uint8_t(dst);
+        i.addr = addr;
+        i.vl = vl;
+        i.masked = masked;
+        sink.consume(i);
+    }
+
+    void
+    vstore(unsigned src, Addr addr, std::uint32_t vl, bool masked = false)
+    {
+        Instr i;
+        i.op = Op::VStore;
+        i.src1 = std::uint8_t(src);
+        i.addr = addr;
+        i.vl = vl;
+        i.masked = masked;
+        sink.consume(i);
+    }
+
+    void
+    vloadStrided(unsigned dst, Addr addr, std::int64_t stride,
+                 std::uint32_t vl)
+    {
+        Instr i;
+        i.op = Op::VLoadStrided;
+        i.dst = std::uint8_t(dst);
+        i.addr = addr;
+        i.stride = stride;
+        i.vl = vl;
+        sink.consume(i);
+    }
+
+    void
+    vstoreStrided(unsigned src, Addr addr, std::int64_t stride,
+                  std::uint32_t vl)
+    {
+        Instr i;
+        i.op = Op::VStoreStrided;
+        i.src1 = std::uint8_t(src);
+        i.addr = addr;
+        i.stride = stride;
+        i.vl = vl;
+        sink.consume(i);
+    }
+
+    /** Indexed load; @p offsets must outlive the call. */
+    void
+    vloadIndexed(unsigned dst, Addr addr,
+                 const std::vector<std::uint32_t>& offsets,
+                 unsigned idx_reg)
+    {
+        Instr i;
+        i.op = Op::VLoadIndexed;
+        i.dst = std::uint8_t(dst);
+        i.src2 = std::uint8_t(idx_reg);
+        i.addr = addr;
+        i.vl = std::uint32_t(offsets.size());
+        i.indices = offsets.data();
+        sink.consume(i);
+    }
+
+    void
+    vstoreIndexed(unsigned src, Addr addr,
+                  const std::vector<std::uint32_t>& offsets,
+                  unsigned idx_reg)
+    {
+        Instr i;
+        i.op = Op::VStoreIndexed;
+        i.src1 = std::uint8_t(src);
+        i.src2 = std::uint8_t(idx_reg);
+        i.addr = addr;
+        i.vl = std::uint32_t(offsets.size());
+        i.indices = offsets.data();
+        sink.consume(i);
+    }
+
+    /** Typical strip bookkeeping: pointer bumps + loop branch. */
+    void
+    stripOverhead(unsigned pointer_bumps)
+    {
+        for (unsigned i = 0; i < pointer_bumps; ++i)
+            alu(2 + i, 2 + i, 0);
+        alu(1, 1, 0);  // counter
+        branch(1);
+    }
+
+  private:
+    InstrSink& sink;
+};
+
+/** One benchmark kernel. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Suite tag: kernel / rodinia / rivec / genomics (Table IV). */
+    virtual std::string suite() const = 0;
+
+    /** Allocate memory, fill deterministic inputs, compute reference. */
+    virtual void init() = 0;
+
+    /** Emit the scalar version of the region of interest. */
+    virtual void emitScalar(InstrSink& sink) = 0;
+
+    /** Emit the vector version strip-mined at @p hw_vl elements. */
+    virtual void emitVector(InstrSink& sink, std::uint32_t hw_vl) = 0;
+
+    /**
+     * Compare vector-program output in memory with the reference.
+     * @return number of mismatching words (0 = pass).
+     */
+    virtual std::uint64_t verify() const = 0;
+
+    ByteMem& memory() { return mem; }
+    const ByteMem& memory() const { return mem; }
+
+  protected:
+    ByteMem mem;
+};
+
+/** Instantiate every paper workload (optionally scaled down). */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads(bool small);
+
+/** Instantiate one workload by name (nullptr if unknown). */
+std::unique_ptr<Workload> makeWorkload(const std::string& name,
+                                       bool small);
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the analytical models: Section II taxonomy (the
+ * throughput peak and latency trends of Figure 2), Section VI
+ * circuits (area sums, cycle times), system area, and the energy
+ * model's comparative properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/circuits.hh"
+#include "analytic/energy.hh"
+#include "analytic/taxonomy.hh"
+
+namespace eve
+{
+namespace
+{
+
+TEST(Taxonomy, AddThroughputPeaksAtPf4)
+{
+    TaxonomyParams params;
+    const auto sweep = taxonomySweep(params);
+    double best = 0;
+    unsigned best_pf = 0;
+    for (const auto& p : sweep)
+        if (p.addThroughput > best) {
+            best = p.addThroughput;
+            best_pf = p.pf;
+        }
+    EXPECT_EQ(best_pf, 4u);
+}
+
+TEST(Taxonomy, AddLatencyMonotonicallyDecreases)
+{
+    TaxonomyParams params;
+    const auto sweep = taxonomySweep(params);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_LT(sweep[i].addLatency, sweep[i - 1].addLatency);
+}
+
+TEST(Taxonomy, LatencySublinearInSegments)
+{
+    // Halving segments does not halve latency: control overhead
+    // (the Section II observation behind Figure 2).
+    TaxonomyParams params;
+    const auto p1 = taxonomyPoint(params, 1);
+    const auto p32 = taxonomyPoint(params, 32);
+    EXPECT_GT(double(p32.addLatency) / double(p1.addLatency),
+              1.0 / 32.0);
+}
+
+TEST(Taxonomy, AluCountsFollowLaneLaw)
+{
+    TaxonomyParams params;
+    EXPECT_EQ(taxonomyPoint(params, 1).alus, 64u);
+    EXPECT_EQ(taxonomyPoint(params, 4).alus, 64u);
+    EXPECT_EQ(taxonomyPoint(params, 8).alus, 32u);
+    EXPECT_EQ(taxonomyPoint(params, 32).alus, 8u);
+}
+
+TEST(Circuits, CycleTimesMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(CircuitModel::baselineCycleNs(), 1.025);
+    EXPECT_DOUBLE_EQ(CircuitModel::cycleTimeNs(1), 1.025);
+    EXPECT_DOUBLE_EQ(CircuitModel::cycleTimeNs(8), 1.025);
+    EXPECT_DOUBLE_EQ(CircuitModel::cycleTimeNs(16), 1.175);
+    EXPECT_DOUBLE_EQ(CircuitModel::cycleTimeNs(32), 1.55);
+}
+
+TEST(Circuits, ArrayOverheadsMatchPaper)
+{
+    EXPECT_NEAR(CircuitModel::arrayOverheadPct(1), 9.0, 1e-9);
+    EXPECT_NEAR(CircuitModel::arrayOverheadPct(8), 15.6, 1e-9);
+    EXPECT_NEAR(CircuitModel::arrayOverheadPct(16), 15.6, 1e-9);
+    EXPECT_NEAR(CircuitModel::arrayOverheadPct(32), 12.6, 1e-9);
+    // Banking halves the overhead (two sub-arrays per stack).
+    EXPECT_NEAR(CircuitModel::bankedOverheadPct(8), 7.8, 1e-9);
+    EXPECT_NEAR(CircuitModel::bankedOverheadPct(1), 4.5, 1e-9);
+    EXPECT_NEAR(CircuitModel::bankedOverheadPct(32), 6.3, 1e-9);
+}
+
+TEST(Circuits, Eve8EngineOverheadNear11Pct)
+{
+    // Paper: EVE-8 total 11.7% (3.9% circuits + 7.8% DTUs/ROM).
+    EXPECT_NEAR(CircuitModel::engineOverheadPct(8), 11.7, 0.3);
+}
+
+TEST(Circuits, StacksDifferByDesign)
+{
+    EXPECT_EQ(CircuitModel::stacks(1).size(), 5u);   // bit-serial
+    EXPECT_EQ(CircuitModel::stacks(8).size(), 7u);   // bit-hybrid
+    EXPECT_EQ(CircuitModel::stacks(32).size(), 6u);  // bit-parallel
+}
+
+TEST(SystemArea, MatchesPaper)
+{
+    EXPECT_DOUBLE_EQ(SystemAreaModel::o3(), 1.0);
+    EXPECT_DOUBLE_EQ(SystemAreaModel::o3iv(), 1.10);
+    EXPECT_DOUBLE_EQ(SystemAreaModel::o3dv(), 2.00);
+    EXPECT_DOUBLE_EQ(SystemAreaModel::o3eve(1), 1.10);
+    EXPECT_DOUBLE_EQ(SystemAreaModel::o3eve(8), 1.12);
+    EXPECT_DOUBLE_EQ(SystemAreaModel::o3eve(32), 1.11);
+}
+
+TEST(Energy, BlcCostsTwentyPercentOverRead)
+{
+    const EnergyParams p;
+    EXPECT_NEAR(p.blc_pj / p.sram_read_pj, 1.2, 1e-9);
+    EXPECT_LT(p.uop_other_pj, p.sram_read_pj);
+}
+
+TEST(Energy, DramDominatesForMemoryTraffic)
+{
+    RunResult r;
+    r.instrs = 1000;
+    r.vecInstrs = 0;
+    r.stats["dram.reads"] = 10000;
+    r.stats["l1d.reads"] = 10000;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3;
+    const EnergyReport e = estimateEnergy(r, cfg);
+    EXPECT_GT(e.dram_nj, e.cache_nj);
+    EXPECT_GT(e.dram_nj, e.core_nj);
+}
+
+TEST(Energy, EveChargesActiveArrayUops)
+{
+    RunResult r;
+    r.instrs = 0;
+    r.stats["eve.vsu_array_uops"] = 1000;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3EVE;
+    const EnergyReport e = estimateEnergy(r, cfg);
+    EXPECT_GT(e.engine_nj, 0.0);
+    // Doubling the active-array micro-ops doubles engine energy.
+    r.stats["eve.vsu_array_uops"] = 2000;
+    EXPECT_NEAR(estimateEnergy(r, cfg).engine_nj, 2 * e.engine_nj,
+                1e-9);
+}
+
+} // namespace
+} // namespace eve

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, the
+ * deterministic RNG, statistics, logging helpers, and clock domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace eve
+{
+namespace
+{
+
+TEST(Bits, BitExtraction)
+{
+    EXPECT_TRUE(bit(0b1010, 1));
+    EXPECT_FALSE(bit(0b1010, 0));
+    EXPECT_TRUE(bit(std::uint64_t{1} << 63, 63));
+}
+
+TEST(Bits, FieldExtraction)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 0, 32), 0xdeadbeefu);
+    EXPECT_EQ(bits(~std::uint64_t{0}, 0, 64), ~std::uint64_t{0});
+}
+
+TEST(Bits, InsertBit)
+{
+    EXPECT_EQ(insertBit(0, 5, true), 32u);
+    EXPECT_EQ(insertBit(0xff, 0, false), 0xfeu);
+}
+
+TEST(Bits, Pow2AndLog)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(256));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(32), 5u);
+    EXPECT_EQ(log2i(1u << 31), 31u);
+}
+
+TEST(Bits, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+    EXPECT_EQ(divCeil(9, 4), 3u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Stats, AddAndGet)
+{
+    StatGroup g("grp");
+    EXPECT_EQ(g.get("x"), 0.0);
+    EXPECT_FALSE(g.has("x"));
+    g.add("x", 2);
+    g.add("x", 3);
+    EXPECT_EQ(g.get("x"), 5.0);
+    EXPECT_TRUE(g.has("x"));
+    g.set("x", 1);
+    EXPECT_EQ(g.get("x"), 1.0);
+}
+
+TEST(Stats, DumpContainsGroupPrefix)
+{
+    StatGroup g("cache");
+    g.add("hits", 10);
+    EXPECT_NE(g.dump().find("cache.hits = 10"), std::string::npos);
+}
+
+TEST(Stats, ClearResets)
+{
+    StatGroup g;
+    g.add("a", 1);
+    g.clear();
+    EXPECT_FALSE(g.has("a"));
+}
+
+namespace
+{
+std::string
+format(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+} // namespace
+
+TEST(Log, VformatFormats)
+{
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(ClockDomain, Conversions)
+{
+    ClockDomain clk(1.025);
+    EXPECT_EQ(clk.period(), Tick{1025});
+    EXPECT_EQ(clk.toTicks(10), Tick{10250});
+    EXPECT_EQ(clk.toCycles(1025), Cycles{1});
+    EXPECT_EQ(clk.toCycles(1026), Cycles{2});  // rounds up
+    EXPECT_DOUBLE_EQ(clk.periodNs(), 1.025);
+}
+
+} // namespace
+} // namespace eve

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the driver layer: system naming, text tables, run
+ * results, stat collection, and configuration plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/system.hh"
+#include "driver/table.hh"
+#include "workloads/vvadd.hh"
+
+namespace eve
+{
+namespace
+{
+
+TEST(SystemName, AllKinds)
+{
+    auto named = [](SystemKind kind, unsigned pf = 8) {
+        SystemConfig cfg;
+        cfg.kind = kind;
+        cfg.eve_pf = pf;
+        return systemName(cfg);
+    };
+    EXPECT_EQ(named(SystemKind::IO), "IO");
+    EXPECT_EQ(named(SystemKind::O3), "O3");
+    EXPECT_EQ(named(SystemKind::O3IV), "O3+IV");
+    EXPECT_EQ(named(SystemKind::O3DV), "O3+DV");
+    EXPECT_EQ(named(SystemKind::O3EVE, 16), "O3+EVE-16");
+}
+
+TEST(TextTableTest, RendersAlignedColumns)
+{
+    TextTable t({"a", "bb"});
+    t.addRow({"xxx", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a    bb"), std::string::npos);
+    EXPECT_NE(out.find("xxx  y"), std::string::npos);
+    EXPECT_NE(out.find("-------"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWrongArity)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row with 1 cells");
+}
+
+TEST(TextTableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(RunResultTest, StatLookupDefaultsToZero)
+{
+    RunResult r;
+    EXPECT_EQ(r.stat("nope.nothing"), 0.0);
+    r.stats["x.y"] = 7;
+    EXPECT_EQ(r.stat("x.y"), 7.0);
+}
+
+TEST(DriverRun, CollectsComponentStats)
+{
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3EVE;
+    cfg.eve_pf = 8;
+    VvaddWorkload w(4096);
+    const RunResult r = runWorkload(cfg, w);
+    EXPECT_GT(r.stat("llc.reads"), 0.0);
+    EXPECT_GT(r.stat("dram.reads"), 0.0);
+    EXPECT_GT(r.stat("eve.vector_instrs"), 0.0);
+    EXPECT_GT(r.vecElemOps, 4000u);
+    EXPECT_GT(r.vecInstrs, 0u);
+    EXPECT_EQ(r.workload, "vvadd");
+}
+
+TEST(DriverRun, ScalarAndVectorInstrCountsDiffer)
+{
+    SystemConfig io;
+    io.kind = SystemKind::IO;
+    VvaddWorkload sw(4096);
+    const RunResult scalar = runWorkload(io, sw);
+
+    SystemConfig ev;
+    ev.kind = SystemKind::O3EVE;
+    VvaddWorkload vw(4096);
+    const RunResult vec = runWorkload(ev, vw);
+    EXPECT_GT(scalar.instrs, 10 * vec.instrs);
+}
+
+TEST(DriverRun, PrefetchConfigReachesLlc)
+{
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3EVE;
+    cfg.llc_prefetch_lines = 4;
+    VvaddWorkload w(65536);
+    const RunResult r = runWorkload(cfg, w);
+    EXPECT_GT(r.stat("llc.prefetches"), 0.0);
+    EXPECT_EQ(r.mismatches, 0u);
+}
+
+TEST(DriverRun, AddressBiasDoesNotChangeFunctionality)
+{
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3EVE;
+    VvaddWorkload w(4096);
+    System sys(cfg);
+    sys.setAddressBias(Addr{1} << 33);
+    const RunResult r = sys.run(w);
+    EXPECT_EQ(r.mismatches, 0u);
+    EXPECT_GT(r.cycles, 0.0);
+}
+
+} // namespace
+} // namespace eve

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the bit array and the EVE SRAM peripheral stacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/sram/bit_array.hh"
+#include "core/sram/eve_sram.hh"
+
+namespace eve
+{
+namespace
+{
+
+TEST(BitArray, SetGetRoundTrip)
+{
+    BitArray array(16, 100);
+    array.set(3, 77, true);
+    EXPECT_TRUE(array.get(3, 77));
+    EXPECT_FALSE(array.get(3, 76));
+    array.set(3, 77, false);
+    EXPECT_FALSE(array.get(3, 77));
+}
+
+TEST(BitArray, BitLineComputeMatchesLogic)
+{
+    BitArray array(4, 130);
+    Rng rng(7);
+    for (unsigned c = 0; c < 130; ++c) {
+        array.set(0, c, rng.next() & 1);
+        array.set(1, c, rng.next() & 1);
+    }
+    BlcSense sense = array.bitLineCompute(0, 1);
+    for (unsigned c = 0; c < 130; ++c) {
+        const bool a = array.get(0, c);
+        const bool b = array.get(1, c);
+        EXPECT_EQ((sense.andBits[c / 64] >> (c % 64)) & 1, a && b);
+        EXPECT_EQ((sense.orBits[c / 64] >> (c % 64)) & 1, a || b);
+    }
+}
+
+TEST(BitArray, MaskedWriteOnlyTouchesMaskedColumns)
+{
+    BitArray array(2, 64);
+    RowBits ones(1, ~std::uint64_t{0});
+    RowBits mask(1, 0x00ff00ffull);
+    array.writeRow(0, ones, &mask);
+    for (unsigned c = 0; c < 64; ++c)
+        EXPECT_EQ(array.get(0, c), bool((0x00ff00ffull >> c) & 1));
+}
+
+TEST(EveSram, ElementRoundTripAllPf)
+{
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        EveSramConfig cfg;
+        cfg.lanes = 4;
+        cfg.pf = pf;
+        EveSram sram(cfg);
+        Rng rng(pf);
+        for (unsigned lane = 0; lane < cfg.lanes; ++lane) {
+            for (unsigned reg : {0u, 5u, 31u}) {
+                const std::uint32_t v = std::uint32_t(rng.next());
+                sram.writeElement(lane, reg, v);
+                EXPECT_EQ(sram.readElement(lane, reg), v)
+                    << "pf=" << pf << " lane=" << lane;
+            }
+        }
+    }
+}
+
+TEST(EveSram, BlcAndWritebackComputesLogic)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 2;
+    cfg.pf = 8;
+    EveSram sram(cfg);
+    sram.writeElement(0, 1, 0x0f0f3355u);
+    sram.writeElement(0, 2, 0x00ffaaaau);
+    sram.writeElement(1, 1, 0xdeadbeefu);
+    sram.writeElement(1, 2, 0x12345678u);
+
+    MacroProgram prog;
+    for (unsigned s = 0; s < sram.segments(); ++s) {
+        prog.push_back(uBlc(sram.rowOf(1, s), sram.rowOf(2, s)));
+        prog.push_back(uWr(sram.rowOf(3, s), USrc::Xor));
+    }
+    sram.run(prog);
+    EXPECT_EQ(sram.readElement(0, 3), 0x0f0f3355u ^ 0x00ffaaaau);
+    EXPECT_EQ(sram.readElement(1, 3), 0xdeadbeefu ^ 0x12345678u);
+}
+
+TEST(EveSram, AddChainPropagatesCarryAcrossSegments)
+{
+    for (unsigned pf : {1u, 4u, 8u, 32u}) {
+        EveSramConfig cfg;
+        cfg.lanes = 3;
+        cfg.pf = pf;
+        EveSram sram(cfg);
+        const std::uint32_t a[3] = {0xffffffffu, 0x7fffffffu, 123u};
+        const std::uint32_t b[3] = {1u, 1u, 456u};
+        for (unsigned lane = 0; lane < 3; ++lane) {
+            sram.writeElement(lane, 1, a[lane]);
+            sram.writeElement(lane, 2, b[lane]);
+        }
+        MacroProgram prog;
+        for (unsigned s = 0; s < sram.segments(); ++s) {
+            prog.push_back(uBlc(sram.rowOf(1, s), sram.rowOf(2, s),
+                                s == 0 ? CarryIn::Zero : CarryIn::Chain));
+            prog.push_back(uWr(sram.rowOf(3, s), USrc::Add));
+        }
+        sram.run(prog);
+        for (unsigned lane = 0; lane < 3; ++lane)
+            EXPECT_EQ(sram.readElement(lane, 3), a[lane] + b[lane])
+                << "pf=" << pf << " lane=" << lane;
+    }
+}
+
+TEST(EveSram, MaskedWriteLeavesInactiveLanes)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 2;
+    cfg.pf = 8;
+    EveSram sram(cfg);
+    sram.writeElement(0, 1, 0x11111111u);
+    sram.writeElement(1, 1, 0x22222222u);
+    sram.writeElement(0, 2, 0xaaaaaaaau);
+    sram.writeElement(1, 2, 0xaaaaaaaau);
+
+    // Mask on for lane 0 only: set v0 bit0 = 1 in lane 0.
+    sram.writeElement(0, 0, 1);
+    sram.writeElement(1, 0, 0);
+    MacroProgram prog;
+    prog.push_back(uRdXReg(sram.rowOf(0, 0)));
+    prog.push_back(uSimple(UKind::MaskFromXRegLsb));
+    for (unsigned s = 0; s < sram.segments(); ++s) {
+        prog.push_back(uBlc(sram.rowOf(2, s), sram.rowOf(2, s)));
+        prog.push_back(uWr(sram.rowOf(1, s), USrc::And, true));
+    }
+    sram.run(prog);
+    EXPECT_EQ(sram.readElement(0, 1), 0xaaaaaaaau);
+    EXPECT_EQ(sram.readElement(1, 1), 0x22222222u);
+}
+
+TEST(EveSram, ShiftPassMovesBitsAcrossSegments)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 2;
+    cfg.pf = 4;
+    EveSram sram(cfg);
+    sram.writeElement(0, 1, 0x80000001u);
+    sram.writeElement(1, 1, 0x00ff00ffu);
+
+    // Left shift by one using the constant + spare shifters.
+    MacroProgram prog;
+    prog.push_back(uSimple(UKind::ClearLink));
+    for (unsigned s = 0; s < sram.segments(); ++s) {
+        prog.push_back(uRdCShift(sram.rowOf(1, s)));
+        prog.push_back(uSimple(UKind::LShift));
+        prog.push_back(uWr(sram.rowOf(1, s), USrc::Shift));
+    }
+    sram.run(prog);
+    EXPECT_EQ(sram.readElement(0, 1), 0x80000001u << 1);
+    EXPECT_EQ(sram.readElement(1, 1), 0x00ff00ffu << 1);
+}
+
+TEST(EveSram, MaskFromCarryReflectsUnsignedCompare)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 2;
+    cfg.pf = 8;
+    EveSram sram(cfg);
+    // lane0: a=5 >= b=3 -> carry 1; lane1: a=2 < b=9 -> carry 0.
+    sram.writeElement(0, 1, 5);
+    sram.writeElement(1, 1, 2);
+    sram.writeElement(0, 2, 3);
+    sram.writeElement(1, 2, 9);
+
+    MacroProgram prog;
+    // t(scratch) = ~b; t = a + t + 1.
+    const unsigned t = sram.scratchReg(0);
+    for (unsigned s = 0; s < sram.segments(); ++s) {
+        prog.push_back(uBlc(sram.rowOf(2, s), sram.rowOf(2, s)));
+        prog.push_back(uWr(sram.rowOf(t, s), USrc::Nand));
+    }
+    for (unsigned s = 0; s < sram.segments(); ++s) {
+        prog.push_back(uBlc(sram.rowOf(1, s), sram.rowOf(t, s),
+                            s == 0 ? CarryIn::One : CarryIn::Chain));
+        prog.push_back(uWr(sram.rowOf(t, s), USrc::Add));
+    }
+    prog.push_back(uSimple(UKind::MaskFromCarry));
+    sram.run(prog);
+    EXPECT_TRUE(sram.laneMask(0));
+    EXPECT_FALSE(sram.laneMask(1));
+}
+
+} // namespace
+} // namespace eve

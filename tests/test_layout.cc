@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the data-layout model: the lane law against the
+ * paper's hardware vector lengths, utilization trends, and the
+ * Figure 1 small-array points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/taxonomy.hh"
+#include "core/layout/layout.hh"
+
+namespace eve
+{
+namespace
+{
+
+Layout
+paperLayout(unsigned pf)
+{
+    LayoutParams p;
+    p.rows = 256;
+    p.cols = 256;
+    p.num_vregs = 32;
+    p.elem_bits = 32;
+    p.pf = pf;
+    return Layout(p);
+}
+
+TEST(LayoutTest, HwVectorLengthsMatchTable3)
+{
+    // 32 active sub-arrays (half the 64-sub-array L2).
+    EXPECT_EQ(paperLayout(1).hwVectorLength(32), 2048u);
+    EXPECT_EQ(paperLayout(2).hwVectorLength(32), 2048u);
+    EXPECT_EQ(paperLayout(4).hwVectorLength(32), 2048u);
+    EXPECT_EQ(paperLayout(8).hwVectorLength(32), 1024u);
+    EXPECT_EQ(paperLayout(16).hwVectorLength(32), 512u);
+    EXPECT_EQ(paperLayout(32).hwVectorLength(32), 256u);
+}
+
+TEST(LayoutTest, SegmentsArePrecisionOverPf)
+{
+    EXPECT_EQ(paperLayout(1).segments(), 32u);
+    EXPECT_EQ(paperLayout(8).segments(), 4u);
+    EXPECT_EQ(paperLayout(32).segments(), 1u);
+}
+
+TEST(LayoutTest, LaneFoldingBelowBalance)
+{
+    // Below pf=4, the 1 KB register file of a lane exceeds one
+    // 256-bit column group, widening lanes (column under-use).
+    EXPECT_EQ(paperLayout(1).laneCols(), 4u);
+    EXPECT_EQ(paperLayout(1).groupsPerLane(), 4u);
+    EXPECT_EQ(paperLayout(2).laneCols(), 4u);
+    EXPECT_EQ(paperLayout(4).laneCols(), 4u);
+    EXPECT_EQ(paperLayout(4).groupsPerLane(), 1u);
+    EXPECT_EQ(paperLayout(8).laneCols(), 8u);
+}
+
+TEST(LayoutTest, BalancedUtilizationAtPf4)
+{
+    // pf=4 is the paper's balanced point: full columns and full
+    // storage.
+    EXPECT_DOUBLE_EQ(paperLayout(4).columnUtilization(), 1.0);
+    EXPECT_DOUBLE_EQ(paperLayout(4).storageUtilization(), 1.0);
+    // Bit-serial wastes compute columns...
+    EXPECT_LT(paperLayout(1).columnUtilization(), 0.5);
+    // ...and bit-parallel wastes storage rows.
+    EXPECT_LT(paperLayout(32).storageUtilization(), 0.5);
+}
+
+TEST(LayoutTest, VirtualRowMapping)
+{
+    const Layout l = paperLayout(8);
+    EXPECT_EQ(l.virtualRow(0, 0), 0u);
+    EXPECT_EQ(l.virtualRow(0, 3), 3u);
+    EXPECT_EQ(l.virtualRow(1, 0), 4u);
+    EXPECT_EQ(l.virtualRows(), 128u);
+}
+
+TEST(LayoutTest, Fig1PaperPoints)
+{
+    // "with parallelization factor of one ... half the SRAM is
+    // occupied providing storage for 16 elements" (1 vreg, 16x16,
+    // 8-bit elements).
+    const Fig1Point one = fig1Point(16, 16, 8, 1, 1);
+    EXPECT_EQ(one.elements, 16u);
+    EXPECT_DOUBLE_EQ(one.storageUtilization, 0.5);
+
+    // "the SRAM reaches balanced utilization with two vector
+    // registers".
+    const Fig1Point two = fig1Point(16, 16, 8, 2, 1);
+    EXPECT_EQ(two.elements, 16u);
+    EXPECT_DOUBLE_EQ(two.storageUtilization, 1.0);
+
+    // "to support more vector registers, some of the columns are
+    // repurposed ... reducing the number of in-situ ALUs".
+    const Fig1Point four = fig1Point(16, 16, 8, 4, 1);
+    EXPECT_EQ(four.alus, 8u);
+}
+
+TEST(LayoutTest, RejectsBadGeometry)
+{
+    LayoutParams p;
+    p.pf = 3;  // does not divide 32
+    EXPECT_DEATH(Layout{p}, "divide");
+    LayoutParams q;
+    q.rows = 4;
+    q.cols = 4;
+    q.pf = 4;
+    q.num_vregs = 32;
+    q.elem_bits = 32;
+    EXPECT_DEATH(Layout{q}, "does not fit");
+}
+
+} // namespace
+} // namespace eve

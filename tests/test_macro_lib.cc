@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Property tests: every bit-exact macro-op micro-program, executed on
+ * the EveSram functional model, must agree with the plain-C++
+ * VecMachine reference semantics — for every parallelization factor,
+ * with random operands, with and without masking, and under operand
+ * aliasing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/sram/eve_sram.hh"
+#include "core/uprog/macro_lib.hh"
+#include "isa/functional.hh"
+
+namespace eve
+{
+namespace
+{
+
+constexpr unsigned kLanes = 5;
+
+struct MacroCase
+{
+    Op op;
+    bool usesScalar;
+    bool masked;
+    std::int64_t imm;  ///< scalar operand / shift amount
+};
+
+std::string
+caseName(const testing::TestParamInfo<std::tuple<unsigned, MacroCase>>&
+             info)
+{
+    const auto& [pf, c] = info.param;
+    std::string name = std::string(opName(c.op));
+    for (auto& ch : name)
+        if (!isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    name += c.usesScalar ? "_vx" : "_vv";
+    if (c.masked)
+        name += "_m";
+    name += "_imm" + std::to_string(c.imm < 0 ? -c.imm : c.imm);
+    name += "_pf" + std::to_string(pf);
+    return name;
+}
+
+class MacroOpEquivalence
+    : public testing::TestWithParam<std::tuple<unsigned, MacroCase>>
+{
+};
+
+/**
+ * Run one instruction through both machines with the same register
+ * state and compare every lane of the destination.
+ */
+void
+checkEquivalence(unsigned pf, const MacroCase& c, unsigned dst,
+                 unsigned src1, unsigned src2, Rng& rng)
+{
+    EveSramConfig cfg;
+    cfg.lanes = kLanes;
+    cfg.pf = pf;
+    EveSram sram(cfg);
+    ByteMem mem(64);
+    VecMachine ref(mem, kLanes);
+    MacroLib lib(cfg);
+
+    // Randomize every architectural register identically in both
+    // machines, plus a v0 mask of alternating/random bits.
+    for (unsigned reg = 0; reg < 32; ++reg) {
+        for (unsigned lane = 0; lane < kLanes; ++lane) {
+            std::int32_t v = std::int32_t(rng.next());
+            // Bias some operands toward interesting edge values.
+            switch (rng.below(8)) {
+              case 0: v = 0; break;
+              case 1: v = -1; break;
+              case 2: v = std::int32_t(0x80000000u); break;
+              case 3: v = 0x7fffffff; break;
+              default: break;
+            }
+            if (reg == 0)
+                v = std::int32_t(rng.next() & 1);
+            ref.setElem(reg, lane, v);
+            sram.writeElement(lane, reg, std::uint32_t(v));
+        }
+    }
+
+    Instr instr;
+    instr.op = c.op;
+    instr.dst = std::uint8_t(dst);
+    instr.src1 = std::uint8_t(src1);
+    instr.src2 = std::uint8_t(src2);
+    instr.usesScalar = c.usesScalar;
+    instr.imm = c.imm;
+    instr.masked = c.masked;
+    instr.vl = kLanes;
+
+    MacroBuild built = lib.build(instr);
+    ASSERT_TRUE(built.bit_exact)
+        << opName(c.op) << " expected to be bit-exact";
+
+    ref.consume(instr);
+    sram.run(built.prog);
+
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+        EXPECT_EQ(sram.readElement(lane, dst),
+                  std::uint32_t(ref.elem(dst, lane)))
+            << opName(c.op) << " pf=" << pf << " lane=" << lane
+            << " dst=v" << dst << " a=v" << src1 << " b=v" << src2
+            << (c.masked ? " masked" : "")
+            << (c.usesScalar ? " imm=" + std::to_string(c.imm) : "");
+    }
+}
+
+TEST_P(MacroOpEquivalence, DistinctRegisters)
+{
+    const auto& [pf, c] = GetParam();
+    Rng rng(0x1234 + pf + unsigned(c.op) * 977);
+    for (unsigned trial = 0; trial < 3; ++trial)
+        checkEquivalence(pf, c, 3, 7, 11, rng);
+}
+
+TEST_P(MacroOpEquivalence, DstAliasesSrc1)
+{
+    const auto& [pf, c] = GetParam();
+    Rng rng(0x9999 + pf + unsigned(c.op) * 31);
+    checkEquivalence(pf, c, 7, 7, 11, rng);
+}
+
+TEST_P(MacroOpEquivalence, DstAliasesSrc2)
+{
+    const auto& [pf, c] = GetParam();
+    if (c.usesScalar)
+        GTEST_SKIP() << ".vx form has no src2 register";
+    Rng rng(0x7777 + pf + unsigned(c.op) * 67);
+    checkEquivalence(pf, c, 11, 7, 11, rng);
+}
+
+const MacroCase kCases[] = {
+    {Op::VAdd, false, false, 0},
+    {Op::VAdd, false, true, 0},
+    {Op::VAdd, true, false, 12345},
+    {Op::VSub, false, false, 0},
+    {Op::VSub, false, true, 0},
+    {Op::VSub, true, false, -7},
+    {Op::VRsub, false, false, 0},
+    {Op::VRsub, true, false, 100},
+    {Op::VAnd, false, false, 0},
+    {Op::VAnd, false, true, 0},
+    {Op::VOr, false, false, 0},
+    {Op::VXor, false, false, 0},
+    {Op::VXor, true, false, 0x55aa},
+    {Op::VMand, false, false, 0},
+    {Op::VMor, false, false, 0},
+    {Op::VMxor, false, false, 0},
+    {Op::VMandn, false, false, 0},
+    {Op::VMseq, false, false, 0},
+    {Op::VMsne, false, false, 0},
+    {Op::VMslt, false, false, 0},
+    {Op::VMslt, false, true, 0},
+    {Op::VMsle, false, false, 0},
+    {Op::VMsgt, false, false, 0},
+    {Op::VMin, false, false, 0},
+    {Op::VMax, false, false, 0},
+    {Op::VMinu, false, false, 0},
+    {Op::VMaxu, false, false, 0},
+    {Op::VMaxu, false, true, 0},
+    {Op::VMerge, false, false, 0},
+    {Op::VMvVX, true, false, -42},
+    {Op::VMvVX, true, true, 99},
+    {Op::VSll, true, false, 0},
+    {Op::VSll, true, false, 1},
+    {Op::VSll, true, false, 5},
+    {Op::VSll, true, false, 17},
+    {Op::VSll, true, true, 9},
+    {Op::VSrl, true, false, 1},
+    {Op::VSrl, true, false, 13},
+    {Op::VSrl, true, false, 31},
+    {Op::VSra, true, false, 0},
+    {Op::VSra, true, false, 3},
+    {Op::VSra, true, false, 21},
+    {Op::VSra, true, true, 8},
+    {Op::VMul, false, false, 0},
+    {Op::VMul, false, true, 0},
+    {Op::VMul, true, false, 3001},
+    {Op::VMacc, false, false, 0},
+    {Op::VMacc, true, false, -5},
+    {Op::VDivu, false, false, 0},
+    {Op::VRemu, false, false, 0},
+    {Op::VDiv, false, false, 0},
+    {Op::VDiv, false, true, 0},
+    {Op::VRem, false, false, 0},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPf, MacroOpEquivalence,
+    testing::Combine(testing::Values(1u, 2u, 4u, 8u, 16u, 32u),
+                     testing::ValuesIn(kCases)),
+    caseName);
+
+// Variable (.vv) shifts get their own suite: shift amounts must be
+// small and well-distributed, so the amount register is prepared
+// explicitly.
+class VariableShift : public testing::TestWithParam<std::tuple<unsigned, Op>>
+{
+};
+
+TEST_P(VariableShift, MatchesReference)
+{
+    const auto& [pf, op] = GetParam();
+    EveSramConfig cfg;
+    cfg.lanes = kLanes;
+    cfg.pf = pf;
+    EveSram sram(cfg);
+    ByteMem mem(64);
+    VecMachine ref(mem, kLanes);
+    MacroLib lib(cfg);
+    Rng rng(55 + pf);
+
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+        const std::int32_t v = std::int32_t(rng.next());
+        const std::int32_t amt = std::int32_t(rng.below(32));
+        ref.setElem(4, lane, v);
+        ref.setElem(5, lane, amt);
+        sram.writeElement(lane, 4, std::uint32_t(v));
+        sram.writeElement(lane, 5, std::uint32_t(amt));
+    }
+
+    Instr instr;
+    instr.op = op;
+    instr.dst = 6;
+    instr.src1 = 4;
+    instr.src2 = 5;
+    instr.vl = kLanes;
+
+    MacroBuild built = lib.build(instr);
+    ASSERT_TRUE(built.bit_exact);
+    ref.consume(instr);
+    sram.run(built.prog);
+    for (unsigned lane = 0; lane < kLanes; ++lane)
+        EXPECT_EQ(sram.readElement(lane, 6),
+                  std::uint32_t(ref.elem(6, lane)))
+            << opName(op) << " pf=" << pf << " lane=" << lane;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPf, VariableShift,
+    testing::Combine(testing::Values(1u, 2u, 4u, 8u, 16u, 32u),
+                     testing::Values(Op::VSll, Op::VSrl, Op::VSra)),
+    [](const auto& info) {
+        std::string name(opName(std::get<1>(info.param)));
+        return name + "_vv_pf" + std::to_string(std::get<0>(info.param));
+    });
+
+// Latency shape: program length must scale with the number of
+// segments, and the control overhead makes it super-linear when
+// normalized (Section II's key observation).
+TEST(MacroLibTiming, AddLatencyScalesWithSegments)
+{
+    std::vector<Cycles> lat;
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        EveSramConfig cfg;
+        cfg.lanes = 1;
+        cfg.pf = pf;
+        MacroLib lib(cfg);
+        Instr add;
+        add.op = Op::VAdd;
+        add.dst = 1;
+        add.src1 = 2;
+        add.src2 = 3;
+        lat.push_back(lib.cycles(add));
+    }
+    for (std::size_t i = 1; i < lat.size(); ++i)
+        EXPECT_LT(lat[i], lat[i - 1]);
+    // Halving segments does not halve latency (control overhead).
+    EXPECT_GT(2 * lat[1], lat[0]);
+    EXPECT_GT(double(lat[5]) / double(lat[0]), 1.0 / 64.0);
+}
+
+TEST(MacroLibTiming, MulIsThousandsOfCyclesBitSerial)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 1;
+    cfg.pf = 1;
+    MacroLib lib(cfg);
+    Instr mul;
+    mul.op = Op::VMul;
+    mul.dst = 1;
+    mul.src1 = 2;
+    mul.src2 = 3;
+    EXPECT_GT(lib.cycles(mul), 2000u);
+    EXPECT_LT(lib.cycles(mul), 20000u);
+}
+
+} // namespace
+} // namespace eve

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Remaining coverage: reference-machine corners not hit elsewhere,
+ * the Emit helper surface, and cross-checks between analytic models
+ * and the simulator configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/circuits.hh"
+#include "core/layout/layout.hh"
+#include "driver/system.hh"
+#include "isa/functional.hh"
+#include "isa/program.hh"
+#include "workloads/workload.hh"
+
+namespace eve
+{
+namespace
+{
+
+TEST(VecMachineMore, UnsignedMinMax)
+{
+    ByteMem mem(64);
+    VecMachine m(mem, 4);
+    m.setElem(1, 0, -1);  // 0xffffffff: unsigned max
+    m.setElem(2, 0, 5);
+    Program prog;
+    prog.vv(Op::VMinu, 3, 1, 2, 1);
+    prog.vv(Op::VMaxu, 4, 1, 2, 1);
+    prog.replay(m);
+    EXPECT_EQ(m.elem(3, 0), 5);
+    EXPECT_EQ(m.elem(4, 0), -1);
+}
+
+TEST(VecMachineMore, MulhComputesHighHalf)
+{
+    ByteMem mem(64);
+    VecMachine m(mem, 2);
+    m.setElem(1, 0, 0x40000000);
+    m.setElem(2, 0, 4);
+    m.setElem(1, 1, -1);
+    m.setElem(2, 1, -1);
+    Program prog;
+    prog.vv(Op::VMulh, 3, 1, 2, 2);
+    prog.replay(m);
+    EXPECT_EQ(m.elem(3, 0), 1);   // 2^30 * 4 = 2^32
+    EXPECT_EQ(m.elem(3, 1), 0);   // (-1)*(-1) = 1, high half 0
+}
+
+TEST(VecMachineMore, SlideUpOffsetPreservesLowElements)
+{
+    ByteMem mem(64);
+    VecMachine m(mem, 8);
+    for (int i = 0; i < 8; ++i) {
+        m.setElem(1, unsigned(i), 100 + i);
+        m.setElem(2, unsigned(i), -i);
+    }
+    Program prog;
+    prog.vx(Op::VSlideUp, 2, 1, 3, 8);  // offset 3
+    prog.replay(m);
+    // Elements below the offset are untouched (RVV semantics).
+    EXPECT_EQ(m.elem(2, 0), 0);
+    EXPECT_EQ(m.elem(2, 2), -2);
+    EXPECT_EQ(m.elem(2, 3), 100);
+    EXPECT_EQ(m.elem(2, 7), 104);
+}
+
+TEST(VecMachineMore, VIdWritesIndices)
+{
+    ByteMem mem(64);
+    VecMachine m(mem, 4);
+    Program prog;
+    prog.vv(Op::VId, 5, 0, 0, 4);
+    prog.replay(m);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(m.elem(5, unsigned(i)), i);
+}
+
+TEST(EmitHelpers, ScalarFormsCarryOperands)
+{
+    class Capture : public InstrSink
+    {
+      public:
+        void consume(const Instr& i) override { last = i; }
+        Instr last;
+    } cap;
+    Emit e(cap);
+    e.mul(7, 5, 6);
+    EXPECT_EQ(cap.last.op, Op::SMul);
+    EXPECT_EQ(cap.last.dst, 7);
+    e.load(0x123, 4, 2);
+    EXPECT_EQ(cap.last.op, Op::SLoad);
+    EXPECT_EQ(cap.last.addr, 0x123u);
+    e.vstoreStrided(3, 0x200, -8, 16);
+    EXPECT_EQ(cap.last.op, Op::VStoreStrided);
+    EXPECT_EQ(cap.last.stride, -8);
+    e.stripOverhead(2);
+    EXPECT_EQ(cap.last.op, Op::SBranch);
+}
+
+TEST(ModelConsistency, EngineOverheadTracksBankedCircuit)
+{
+    // The engine-level overhead must equal half the banked circuit
+    // overhead (only half the L2 SRAMs are EVE SRAMs) plus the fixed
+    // DTU+ROM sub-arrays, for every design point.
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const double expect =
+            CircuitModel::bankedOverheadPct(pf) / 2.0 +
+            100.0 * 5.0 / 64.0;
+        EXPECT_NEAR(CircuitModel::engineOverheadPct(pf), expect, 1e-9);
+    }
+}
+
+TEST(ModelConsistency, SystemHwVlMatchesLayoutLaw)
+{
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        SystemConfig cfg;
+        cfg.kind = SystemKind::O3EVE;
+        cfg.eve_pf = pf;
+        System sys(cfg);
+        LayoutParams lp;
+        lp.pf = pf;
+        EXPECT_EQ(sys.hwVectorLength(),
+                  Layout(lp).hwVectorLength(32));
+    }
+}
+
+TEST(ModelConsistency, EveClockMatchesCircuitModel)
+{
+    for (unsigned pf : {8u, 16u, 32u}) {
+        SystemConfig cfg;
+        cfg.kind = SystemKind::O3EVE;
+        cfg.eve_pf = pf;
+        System sys(cfg);
+        EXPECT_DOUBLE_EQ(sys.timing().clockNs(),
+                         CircuitModel::cycleTimeNs(pf));
+    }
+}
+
+TEST(WorkloadScale, SmallAndFullDifferInFootprint)
+{
+    for (const char* name : {"vvadd", "pathfinder", "sw"}) {
+        auto small = makeWorkload(name, true);
+        auto full = makeWorkload(name, false);
+        small->init();
+        full->init();
+        EXPECT_LT(small->memory().size(), full->memory().size())
+            << name;
+    }
+}
+
+} // namespace
+} // namespace eve

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for vector memory request planning (cacheline
+ * generation for unit-stride, strided, and indexed accesses).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vector/request_gen.hh"
+
+namespace eve
+{
+namespace
+{
+
+Instr
+memInstr(Op op, Addr addr, std::uint32_t vl, std::int64_t stride = 0)
+{
+    Instr i;
+    i.op = op;
+    i.addr = addr;
+    i.vl = vl;
+    i.stride = stride;
+    return i;
+}
+
+TEST(RequestGen, UnitStrideCoversRange)
+{
+    // 32 elements x 4B from 0x10: bytes [0x10, 0x90) -> lines 0,1,2.
+    const auto lines = planRequests(memInstr(Op::VLoad, 0x10, 32), 64);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], 0x00u);
+    EXPECT_EQ(lines[1], 0x40u);
+    EXPECT_EQ(lines[2], 0x80u);
+}
+
+TEST(RequestGen, UnitStrideAlignedExact)
+{
+    const auto lines = planRequests(memInstr(Op::VStore, 0x40, 16), 64);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x40u);
+}
+
+TEST(RequestGen, SmallStrideMergesWithinLines)
+{
+    // Stride 8B: 8 elements span 64B -> lines merge to 2 at most.
+    const auto lines =
+        planRequests(memInstr(Op::VLoadStrided, 0, 16, 8), 64);
+    EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(RequestGen, LargeStrideOneLinePerElement)
+{
+    const auto lines =
+        planRequests(memInstr(Op::VLoadStrided, 0, 16, 256), 64);
+    EXPECT_EQ(lines.size(), 16u);
+    EXPECT_EQ(lines[1], 256u);
+}
+
+TEST(RequestGen, NegativeStrideWalksBackwards)
+{
+    const auto lines =
+        planRequests(memInstr(Op::VLoadStrided, 1024, 4, -64), 64);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0], 1024u);
+    EXPECT_EQ(lines[3], 1024u - 192u);
+}
+
+TEST(RequestGen, IndexedUsesOffsets)
+{
+    std::uint32_t offsets[] = {0, 4, 300, 301};
+    Instr i = memInstr(Op::VLoadIndexed, 0x1000, 4);
+    i.indices = offsets;
+    const auto lines = planRequests(i, 64);
+    // 0 and 4 share a line; 300 and 301 share another.
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0x1000u);
+    EXPECT_EQ(lines[1], (0x1000u + 300u) & ~Addr{63});
+}
+
+TEST(RequestGen, IndexedWithoutIndicesPanics)
+{
+    EXPECT_DEATH(planRequests(memInstr(Op::VLoadIndexed, 0, 4), 64),
+                 "indexed");
+}
+
+TEST(RequestGen, NonMemoryOpPanics)
+{
+    EXPECT_DEATH(planRequests(memInstr(Op::VAdd, 0, 4), 64),
+                 "not a vector memory op");
+}
+
+} // namespace
+} // namespace eve

@@ -1,0 +1,2 @@
+#include <gtest/gtest.h>
+TEST(Sanity, True) { EXPECT_TRUE(true); }

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Integration tests: every Table III system runs every workload
+ * (small inputs); vector runs must verify functionally, and the
+ * performance ordering must match the paper's qualitative shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/system.hh"
+#include "workloads/mmult.hh"
+#include "workloads/workload.hh"
+
+namespace eve
+{
+namespace
+{
+
+RunResult
+runOne(SystemKind kind, const std::string& workload, unsigned pf = 8)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.eve_pf = pf;
+    auto w = makeWorkload(workload, /*small=*/true);
+    EXPECT_NE(w, nullptr) << workload;
+    return runWorkload(cfg, *w);
+}
+
+class AllWorkloads : public testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(AllWorkloads, FunctionalOnEverySystem)
+{
+    const std::string name = GetParam();
+    for (SystemKind kind :
+         {SystemKind::O3IV, SystemKind::O3DV, SystemKind::O3EVE}) {
+        const RunResult r = runOne(kind, name);
+        EXPECT_EQ(r.mismatches, 0u)
+            << name << " failed functionally on " << r.system;
+        EXPECT_GT(r.cycles, 0.0);
+    }
+}
+
+TEST_P(AllWorkloads, FunctionalOnEveryEveConfig)
+{
+    const std::string name = GetParam();
+    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const RunResult r = runOne(SystemKind::O3EVE, name, pf);
+        EXPECT_EQ(r.mismatches, 0u)
+            << name << " failed functionally on " << r.system;
+    }
+}
+
+TEST_P(AllWorkloads, ScalarSystemsProduceTime)
+{
+    const std::string name = GetParam();
+    const RunResult io = runOne(SystemKind::IO, name);
+    const RunResult o3 = runOne(SystemKind::O3, name);
+    EXPECT_GT(io.seconds, 0.0);
+    EXPECT_GT(o3.seconds, 0.0);
+    // The out-of-order core is never slower than the in-order core.
+    EXPECT_LT(o3.seconds, io.seconds) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, AllWorkloads,
+                         testing::Values("vvadd", "mmult", "k-means",
+                                         "pathfinder", "jacobi-2d",
+                                         "backprop", "sw"),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (auto& c : n)
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(SystemShape, VectorSystemsBeatScalarOnVvadd)
+{
+    const RunResult io = runOne(SystemKind::IO, "vvadd");
+    const RunResult iv = runOne(SystemKind::O3IV, "vvadd");
+    const RunResult dv = runOne(SystemKind::O3DV, "vvadd");
+    const RunResult ev = runOne(SystemKind::O3EVE, "vvadd");
+    EXPECT_LT(iv.seconds, io.seconds);
+    EXPECT_LT(dv.seconds, iv.seconds);
+    EXPECT_LT(ev.seconds, iv.seconds);
+}
+
+TEST(SystemShape, EveHardwareVectorLengthsMatchTable3)
+{
+    const unsigned expect[][2] = {{1, 2048}, {2, 2048}, {4, 2048},
+                                  {8, 1024}, {16, 512}, {32, 256}};
+    for (const auto& [pf, vl] : expect) {
+        SystemConfig cfg;
+        cfg.kind = SystemKind::O3EVE;
+        cfg.eve_pf = pf;
+        System sys(cfg);
+        EXPECT_EQ(sys.hwVectorLength(), vl) << "pf=" << pf;
+    }
+}
+
+TEST(SystemShape, Eve8CompetitiveWithDvOnComputeKernel)
+{
+    // EVE needs long vectors to amortize micro-program latency, so
+    // this check uses a medium rectangular mmult (n = 2048 keeps
+    // EVE-8's hardware vector length fully utilized).
+    SystemConfig dv_cfg;
+    dv_cfg.kind = SystemKind::O3DV;
+    MmultWorkload dv_w(4, 64, 2048);
+    const RunResult dv = runWorkload(dv_cfg, dv_w);
+
+    SystemConfig e8_cfg;
+    e8_cfg.kind = SystemKind::O3EVE;
+    e8_cfg.eve_pf = 8;
+    MmultWorkload e8_w(4, 64, 2048);
+    const RunResult e8 = runWorkload(e8_cfg, e8_w);
+
+    // The paper's headline claim is "comparable". Our DV baseline is
+    // deliberately idealized (perfect chaining, decoupled run-ahead),
+    // so the band is generous on the slow side; see EXPERIMENTS.md.
+    EXPECT_LT(e8.seconds, dv.seconds * 6.0);
+    EXPECT_GT(e8.seconds, dv.seconds / 10.0);
+}
+
+TEST(SystemShape, BreakdownCoversEveTimeline)
+{
+    const RunResult r = runOne(SystemKind::O3EVE, "jacobi-2d");
+    ASSERT_TRUE(r.has_breakdown);
+    EXPECT_GT(r.breakdown.busy, 0.0);
+    // Total attributed ticks cannot exceed the run length by more
+    // than bookkeeping slack.
+    EXPECT_LE(r.breakdown.total(), r.total_ticks * 1.25);
+}
+
+} // namespace
+} // namespace eve

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the micro-program layer: the counter file (zero and
+ * binary-decade flags), and the looped VLIW sequencer against the
+ * unrolled macro library on random values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/sram/eve_sram.hh"
+#include "core/uprog/counters.hh"
+#include "core/uprog/macro_lib.hh"
+#include "core/uprog/sequencer.hh"
+
+namespace eve
+{
+namespace
+{
+
+TEST(Counters, DecrementWrapsAndFlags)
+{
+    CounterFile cf;
+    cf.init(CounterId::Seg0, 3);
+    EXPECT_EQ(cf.value(CounterId::Seg0), 3u);
+    cf.decr(CounterId::Seg0);
+    EXPECT_EQ(cf.iteration(CounterId::Seg0), 0u);
+    EXPECT_FALSE(cf.zeroFlag(CounterId::Seg0));
+    cf.decr(CounterId::Seg0);
+    EXPECT_EQ(cf.iteration(CounterId::Seg0), 1u);
+    cf.decr(CounterId::Seg0);
+    // Wrapped: reset to init, zero flag raised.
+    EXPECT_EQ(cf.value(CounterId::Seg0), 3u);
+    EXPECT_TRUE(cf.zeroFlag(CounterId::Seg0));
+    EXPECT_EQ(cf.iteration(CounterId::Seg0), 2u);
+    cf.clearZeroFlag(CounterId::Seg0);
+    EXPECT_FALSE(cf.zeroFlag(CounterId::Seg0));
+    // Next pass restarts iteration indices.
+    cf.decr(CounterId::Seg0);
+    EXPECT_EQ(cf.iteration(CounterId::Seg0), 0u);
+    EXPECT_TRUE(cf.firstIteration(CounterId::Seg0));
+}
+
+TEST(Counters, DecadeFlagOnPowersOfTwo)
+{
+    CounterFile cf;
+    cf.init(CounterId::Bit0, 5);
+    cf.decr(CounterId::Bit0);  // 4: a binary decade
+    EXPECT_TRUE(cf.decadeFlag(CounterId::Bit0));
+    cf.clearDecadeFlag(CounterId::Bit0);
+    cf.decr(CounterId::Bit0);  // 3
+    EXPECT_FALSE(cf.decadeFlag(CounterId::Bit0));
+    cf.decr(CounterId::Bit0);  // 2
+    EXPECT_TRUE(cf.decadeFlag(CounterId::Bit0));
+}
+
+TEST(Counters, IndependentCounters)
+{
+    CounterFile cf;
+    cf.init(CounterId::Seg0, 2);
+    cf.init(CounterId::Arr3, 7);
+    cf.decr(CounterId::Seg0);
+    EXPECT_EQ(cf.value(CounterId::Arr3), 7u);
+    cf.incr(CounterId::Arr3);
+    EXPECT_EQ(cf.value(CounterId::Arr3), 8u);
+}
+
+class SequencerVsUnrolled : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SequencerVsUnrolled, AddMatchesOnRandomValues)
+{
+    const unsigned pf = GetParam();
+    EveSramConfig cfg;
+    cfg.lanes = 6;
+    cfg.pf = pf;
+    EveSram sram(cfg);
+    Rng rng(pf * 131);
+    std::uint32_t a[6], b[6];
+    for (unsigned lane = 0; lane < 6; ++lane) {
+        a[lane] = std::uint32_t(rng.next());
+        b[lane] = std::uint32_t(rng.next());
+        sram.writeElement(lane, 2, a[lane]);
+        sram.writeElement(lane, 3, b[lane]);
+    }
+    Sequencer seq(sram);
+    const Cycles cycles = seq.run(romAdd(sram, 1, 2, 3));
+    for (unsigned lane = 0; lane < 6; ++lane)
+        EXPECT_EQ(sram.readElement(lane, 1), a[lane] + b[lane])
+            << "pf=" << pf << " lane=" << lane;
+    // Figure 4(a): init + 2 tuples per segment + ret.
+    EXPECT_EQ(cycles, Cycles{2} * (32 / pf) + 2);
+}
+
+TEST_P(SequencerVsUnrolled, MulMatchesOnRandomValues)
+{
+    const unsigned pf = GetParam();
+    EveSramConfig cfg;
+    cfg.lanes = 5;
+    cfg.pf = pf;
+    EveSram sram(cfg);
+    Rng rng(pf * 733);
+    std::uint32_t a[5], b[5];
+    for (unsigned lane = 0; lane < 5; ++lane) {
+        a[lane] = std::uint32_t(rng.next());
+        b[lane] = std::uint32_t(rng.next());
+        sram.writeElement(lane, 2, a[lane]);
+        sram.writeElement(lane, 3, b[lane]);
+    }
+    Sequencer seq(sram);
+    seq.run(romMul(sram, 1, 2, 3, sram.scratchReg(0),
+                   sram.scratchReg(1)));
+    for (unsigned lane = 0; lane < 5; ++lane)
+        EXPECT_EQ(sram.readElement(lane, 1), a[lane] * b[lane])
+            << "pf=" << pf << " lane=" << lane;
+}
+
+
+TEST_P(SequencerVsUnrolled, SubAndLogicMatch)
+{
+    const unsigned pf = GetParam();
+    EveSramConfig cfg;
+    cfg.lanes = 4;
+    cfg.pf = pf;
+    EveSram sram(cfg);
+    Rng rng(pf * 17 + 5);
+    std::uint32_t a[4], b[4];
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        a[lane] = std::uint32_t(rng.next());
+        b[lane] = std::uint32_t(rng.next());
+        sram.writeElement(lane, 2, a[lane]);
+        sram.writeElement(lane, 3, b[lane]);
+    }
+    Sequencer seq(sram);
+    seq.run(romSub(sram, 1, 2, 3, sram.scratchReg(0)));
+    seq.run(romLogic(sram, USrc::Xor, 4, 2, 3));
+    seq.run(romLogic(sram, USrc::Or, 5, 2, 3));
+    seq.run(romCopy(sram, 6, 3));
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        EXPECT_EQ(sram.readElement(lane, 1), a[lane] - b[lane]);
+        EXPECT_EQ(sram.readElement(lane, 4), a[lane] ^ b[lane]);
+        EXPECT_EQ(sram.readElement(lane, 5), a[lane] | b[lane]);
+        EXPECT_EQ(sram.readElement(lane, 6), b[lane]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPf, SequencerVsUnrolled,
+                         testing::Values(1u, 2u, 4u, 8u, 16u, 32u),
+                         [](const auto& info) {
+                             return "pf" + std::to_string(info.param);
+                         });
+
+TEST(Sequencer, RunawayProgramPanics)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 1;
+    cfg.pf = 8;
+    EveSram sram(cfg);
+    Sequencer seq(sram);
+    RomProgram prog;
+    prog.name = "spin";
+    Tuple t;
+    t.ctl.kind = CtlOp::Kind::Jmp;
+    t.ctl.target = 0;
+    prog.tuples.push_back(t);
+    EXPECT_DEATH(seq.run(prog), "exceeded");
+}
+
+TEST(MacroLib, LengthCacheIsConsistent)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 1;
+    cfg.pf = 8;
+    MacroLib lib(cfg);
+    Instr i;
+    i.op = Op::VSll;
+    i.dst = 1;
+    i.src1 = 2;
+    i.usesScalar = true;
+    i.imm = 7;
+    const Cycles first = lib.cycles(i);
+    EXPECT_EQ(lib.cycles(i), first);
+    EXPECT_EQ(first, lib.build(i).prog.size() +
+                         MacroLib::controlOverhead);
+    // Different shift amounts have different lengths (and keys).
+    i.imm = 1;
+    EXPECT_NE(lib.cycles(i), first);
+}
+
+TEST(MacroLib, RejectsNonVsuOps)
+{
+    EveSramConfig cfg;
+    cfg.lanes = 1;
+    cfg.pf = 8;
+    MacroLib lib(cfg);
+    Instr load;
+    load.op = Op::VLoad;
+    EXPECT_DEATH(lib.build(load), "not a VSU macro-op");
+}
+
+TEST(UopToString, RendersForms)
+{
+    EXPECT_EQ(uopToString(uBlc(3, 4)), "blc r3, r4");
+    EXPECT_EQ(uopToString(uBlc(3, 4, CarryIn::One)), "blc r3, r4, ci=1");
+    EXPECT_EQ(uopToString(uWr(7, USrc::Add, true)), "wr r7, add, m");
+    EXPECT_EQ(uopToString(uSimple(UKind::MaskShift)), "m_shft");
+}
+
+} // namespace
+} // namespace eve
