@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cmp.dir/bench_ablation_cmp.cc.o"
+  "CMakeFiles/bench_ablation_cmp.dir/bench_ablation_cmp.cc.o.d"
+  "bench_ablation_cmp"
+  "bench_ablation_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dtu.dir/bench_ablation_dtu.cc.o"
+  "CMakeFiles/bench_ablation_dtu.dir/bench_ablation_dtu.cc.o.d"
+  "bench_ablation_dtu"
+  "bench_ablation_dtu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

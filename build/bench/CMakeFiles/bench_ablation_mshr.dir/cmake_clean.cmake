@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mshr.dir/bench_ablation_mshr.cc.o"
+  "CMakeFiles/bench_ablation_mshr.dir/bench_ablation_mshr.cc.o.d"
+  "bench_ablation_mshr"
+  "bench_ablation_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_efficiency.dir/bench_area_efficiency.cc.o"
+  "CMakeFiles/bench_area_efficiency.dir/bench_area_efficiency.cc.o.d"
+  "bench_area_efficiency"
+  "bench_area_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

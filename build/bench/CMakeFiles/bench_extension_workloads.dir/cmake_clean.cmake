@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_workloads.dir/bench_extension_workloads.cc.o"
+  "CMakeFiles/bench_extension_workloads.dir/bench_extension_workloads.cc.o.d"
+  "bench_extension_workloads"
+  "bench_extension_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

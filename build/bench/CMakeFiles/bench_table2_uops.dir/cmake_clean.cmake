@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_uops.dir/bench_table2_uops.cc.o"
+  "CMakeFiles/bench_table2_uops.dir/bench_table2_uops.cc.o.d"
+  "bench_table2_uops"
+  "bench_table2_uops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_uops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uop_catalog.dir/uop_catalog.cpp.o"
+  "CMakeFiles/uop_catalog.dir/uop_catalog.cpp.o.d"
+  "uop_catalog"
+  "uop_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uop_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/circuits.cc" "src/CMakeFiles/eve.dir/analytic/circuits.cc.o" "gcc" "src/CMakeFiles/eve.dir/analytic/circuits.cc.o.d"
+  "/root/repo/src/analytic/energy.cc" "src/CMakeFiles/eve.dir/analytic/energy.cc.o" "gcc" "src/CMakeFiles/eve.dir/analytic/energy.cc.o.d"
+  "/root/repo/src/analytic/taxonomy.cc" "src/CMakeFiles/eve.dir/analytic/taxonomy.cc.o" "gcc" "src/CMakeFiles/eve.dir/analytic/taxonomy.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/eve.dir/common/log.cc.o" "gcc" "src/CMakeFiles/eve.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/eve.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/eve.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/engine/eve_engine.cc" "src/CMakeFiles/eve.dir/core/engine/eve_engine.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/engine/eve_engine.cc.o.d"
+  "/root/repo/src/core/engine/reconfig.cc" "src/CMakeFiles/eve.dir/core/engine/reconfig.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/engine/reconfig.cc.o.d"
+  "/root/repo/src/core/layout/layout.cc" "src/CMakeFiles/eve.dir/core/layout/layout.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/layout/layout.cc.o.d"
+  "/root/repo/src/core/sram/bit_array.cc" "src/CMakeFiles/eve.dir/core/sram/bit_array.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/sram/bit_array.cc.o.d"
+  "/root/repo/src/core/sram/eve_sram.cc" "src/CMakeFiles/eve.dir/core/sram/eve_sram.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/sram/eve_sram.cc.o.d"
+  "/root/repo/src/core/uprog/counters.cc" "src/CMakeFiles/eve.dir/core/uprog/counters.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/uprog/counters.cc.o.d"
+  "/root/repo/src/core/uprog/macro_lib.cc" "src/CMakeFiles/eve.dir/core/uprog/macro_lib.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/uprog/macro_lib.cc.o.d"
+  "/root/repo/src/core/uprog/sequencer.cc" "src/CMakeFiles/eve.dir/core/uprog/sequencer.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/uprog/sequencer.cc.o.d"
+  "/root/repo/src/core/uprog/uop.cc" "src/CMakeFiles/eve.dir/core/uprog/uop.cc.o" "gcc" "src/CMakeFiles/eve.dir/core/uprog/uop.cc.o.d"
+  "/root/repo/src/cpu/io_core.cc" "src/CMakeFiles/eve.dir/cpu/io_core.cc.o" "gcc" "src/CMakeFiles/eve.dir/cpu/io_core.cc.o.d"
+  "/root/repo/src/cpu/o3_core.cc" "src/CMakeFiles/eve.dir/cpu/o3_core.cc.o" "gcc" "src/CMakeFiles/eve.dir/cpu/o3_core.cc.o.d"
+  "/root/repo/src/driver/system.cc" "src/CMakeFiles/eve.dir/driver/system.cc.o" "gcc" "src/CMakeFiles/eve.dir/driver/system.cc.o.d"
+  "/root/repo/src/driver/table.cc" "src/CMakeFiles/eve.dir/driver/table.cc.o" "gcc" "src/CMakeFiles/eve.dir/driver/table.cc.o.d"
+  "/root/repo/src/isa/functional.cc" "src/CMakeFiles/eve.dir/isa/functional.cc.o" "gcc" "src/CMakeFiles/eve.dir/isa/functional.cc.o.d"
+  "/root/repo/src/isa/op.cc" "src/CMakeFiles/eve.dir/isa/op.cc.o" "gcc" "src/CMakeFiles/eve.dir/isa/op.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/eve.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/eve.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/eve.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/eve.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/eve.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/eve.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/eve.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/eve.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/CMakeFiles/eve.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/eve.dir/sim/resource.cc.o.d"
+  "/root/repo/src/vector/dv_engine.cc" "src/CMakeFiles/eve.dir/vector/dv_engine.cc.o" "gcc" "src/CMakeFiles/eve.dir/vector/dv_engine.cc.o.d"
+  "/root/repo/src/vector/iv_engine.cc" "src/CMakeFiles/eve.dir/vector/iv_engine.cc.o" "gcc" "src/CMakeFiles/eve.dir/vector/iv_engine.cc.o.d"
+  "/root/repo/src/vector/request_gen.cc" "src/CMakeFiles/eve.dir/vector/request_gen.cc.o" "gcc" "src/CMakeFiles/eve.dir/vector/request_gen.cc.o.d"
+  "/root/repo/src/workloads/backprop.cc" "src/CMakeFiles/eve.dir/workloads/backprop.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/backprop.cc.o.d"
+  "/root/repo/src/workloads/fir.cc" "src/CMakeFiles/eve.dir/workloads/fir.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/fir.cc.o.d"
+  "/root/repo/src/workloads/jacobi2d.cc" "src/CMakeFiles/eve.dir/workloads/jacobi2d.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/jacobi2d.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/CMakeFiles/eve.dir/workloads/kmeans.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/kmeans.cc.o.d"
+  "/root/repo/src/workloads/mmult.cc" "src/CMakeFiles/eve.dir/workloads/mmult.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/mmult.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/CMakeFiles/eve.dir/workloads/pathfinder.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/scan.cc" "src/CMakeFiles/eve.dir/workloads/scan.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/scan.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/CMakeFiles/eve.dir/workloads/spmv.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/spmv.cc.o.d"
+  "/root/repo/src/workloads/sw.cc" "src/CMakeFiles/eve.dir/workloads/sw.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/sw.cc.o.d"
+  "/root/repo/src/workloads/vvadd.cc" "src/CMakeFiles/eve.dir/workloads/vvadd.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/vvadd.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/eve.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/eve.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

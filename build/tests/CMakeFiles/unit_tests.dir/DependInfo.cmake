@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cc" "tests/CMakeFiles/unit_tests.dir/test_analytic.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_analytic.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/unit_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/unit_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cores.cc" "tests/CMakeFiles/unit_tests.dir/test_cores.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cores.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/unit_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/unit_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_eve_sram.cc" "tests/CMakeFiles/unit_tests.dir/test_eve_sram.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_eve_sram.cc.o.d"
+  "/root/repo/tests/test_extension_workloads.cc" "tests/CMakeFiles/unit_tests.dir/test_extension_workloads.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_extension_workloads.cc.o.d"
+  "/root/repo/tests/test_fault_injection.cc" "tests/CMakeFiles/unit_tests.dir/test_fault_injection.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_fault_injection.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/unit_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_layout.cc" "tests/CMakeFiles/unit_tests.dir/test_layout.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_layout.cc.o.d"
+  "/root/repo/tests/test_macro_lib.cc" "tests/CMakeFiles/unit_tests.dir/test_macro_lib.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_macro_lib.cc.o.d"
+  "/root/repo/tests/test_misc_coverage.cc" "tests/CMakeFiles/unit_tests.dir/test_misc_coverage.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_misc_coverage.cc.o.d"
+  "/root/repo/tests/test_random_programs.cc" "tests/CMakeFiles/unit_tests.dir/test_random_programs.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_random_programs.cc.o.d"
+  "/root/repo/tests/test_request_gen.cc" "tests/CMakeFiles/unit_tests.dir/test_request_gen.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_request_gen.cc.o.d"
+  "/root/repo/tests/test_resource.cc" "tests/CMakeFiles/unit_tests.dir/test_resource.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_resource.cc.o.d"
+  "/root/repo/tests/test_sanity.cc" "tests/CMakeFiles/unit_tests.dir/test_sanity.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_sanity.cc.o.d"
+  "/root/repo/tests/test_sew.cc" "tests/CMakeFiles/unit_tests.dir/test_sew.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_sew.cc.o.d"
+  "/root/repo/tests/test_systems.cc" "tests/CMakeFiles/unit_tests.dir/test_systems.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_systems.cc.o.d"
+  "/root/repo/tests/test_uprog.cc" "tests/CMakeFiles/unit_tests.dir/test_uprog.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_uprog.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/unit_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
