@@ -4,14 +4,18 @@
  * its future-work direction). backprop and k-means are the
  * MSHR-starved workloads; performance should scale with the MSHR
  * count until another bottleneck takes over.
+ *
+ * The sweep is one axis-override line on the Table III EVE-8 config,
+ * executed in parallel by the exp::Runner; a JSONL artifact with the
+ * per-job stats accompanies the printed table.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/log.hh"
 #include "driver/table.hh"
-#include "workloads/workload.hh"
 
 using namespace eve;
 
@@ -24,33 +28,41 @@ main()
     std::printf("Ablation: LLC MSHR count vs. EVE-8 performance\n"
                 "(speed-up over the 32-MSHR Table III baseline)\n\n");
 
-    const unsigned sweeps[] = {8, 16, 32, 64, 128, 256};
+    const std::vector<unsigned> sweeps = {8, 16, 32, 64, 128, 256};
+    const std::vector<std::string> wnames = {"backprop", "k-means",
+                                             "vvadd"};
+
+    exp::SweepSpec spec;
+    spec.system(bench::makeConfig(SystemKind::O3EVE, 8))
+        .axis<unsigned>("llc_mshrs", sweeps,
+                        [](SystemConfig& c, unsigned m) {
+                            c.llc_mshrs = m;
+                        })
+        .workloads(wnames, small);
+
+    const auto results = bench::makeRunner().run(spec);
+    bench::requireAllOk(results);
+
+    // jobs() order: MSHR axis outermost, workloads innermost.
+    auto seconds = [&](std::size_t m, std::size_t wl) {
+        return results[m * wnames.size() + wl].result.seconds;
+    };
+    const std::size_t base_idx = 2; // sweeps[2] == 32, the baseline
+
     std::vector<std::string> headers = {"workload"};
     for (unsigned m : sweeps)
         headers.push_back(std::to_string(m) + " MSHRs");
     TextTable table(headers);
 
-    for (const auto* wname : {"backprop", "k-means", "vvadd"}) {
-        double base_seconds = 0.0;
-        std::vector<double> seconds;
-        for (unsigned m : sweeps) {
-            SystemConfig cfg;
-            cfg.kind = SystemKind::O3EVE;
-            cfg.eve_pf = 8;
-            cfg.llc_mshrs = m;
-            auto w = makeWorkload(wname, small);
-            const RunResult r = runWorkload(cfg, *w);
-            if (r.mismatches)
-                fatal("%s failed functionally", wname);
-            if (m == 32)
-                base_seconds = r.seconds;
-            seconds.push_back(r.seconds);
-        }
-        std::vector<std::string> row = {wname};
-        for (double s : seconds)
-            row.push_back(TextTable::num(base_seconds / s, 2));
+    for (std::size_t wl = 0; wl < wnames.size(); ++wl) {
+        std::vector<std::string> row = {wnames[wl]};
+        const double base_seconds = seconds(base_idx, wl);
+        for (std::size_t m = 0; m < sweeps.size(); ++m)
+            row.push_back(
+                TextTable::num(base_seconds / seconds(m, wl), 2));
         table.addRow(row);
     }
     std::printf("%s", table.render().c_str());
+    bench::writeArtifact(results, "ablation_mshr.jsonl");
     return 0;
 }

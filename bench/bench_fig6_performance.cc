@@ -4,6 +4,12 @@
  * normalized to the in-order core (IO). Also prints the geometric
  * mean over the paper's geomean subset {k-means, pathfinder,
  * jacobi-2d, backprop, sw}.
+ *
+ * The grid runs through the exp::Runner thread pool (one core per
+ * independent simulation); results come back keyed by job index, so
+ * the printed table is identical to the historical serial loop. A
+ * JSON-lines artifact with the full stats maps is written next to
+ * the table (EVE_EXP_OUT_DIR overrides the directory).
  */
 
 #include <cmath>
@@ -14,7 +20,6 @@
 #include "bench_util.hh"
 #include "common/log.hh"
 #include "driver/table.hh"
-#include "workloads/workload.hh"
 
 using namespace eve;
 
@@ -28,6 +33,21 @@ main()
     const std::set<std::string> geomean_set = {
         "k-means", "pathfinder", "jacobi-2d", "backprop", "sw"};
 
+    std::printf("Figure 6: speed-up over the in-order core (IO)\n");
+    std::printf("(higher is better; %s inputs)\n\n",
+                small ? "small smoke-test" : "full");
+
+    const exp::SweepSpec spec = bench::fig6Sweep(small);
+    const auto jobs = spec.jobs();
+    const auto results = bench::makeRunner().run(jobs);
+    bench::requireAllOk(results);
+
+    // jobs() order: systems outermost, workloads innermost.
+    const std::size_t n_workloads = spec.workloadCount();
+    auto at = [&](std::size_t sys, std::size_t wl) -> const RunResult& {
+        return results[sys * n_workloads + wl].result;
+    };
+
     std::vector<std::string> headers = {"workload"};
     for (const auto& cfg : systems)
         headers.push_back(systemName(cfg));
@@ -36,23 +56,12 @@ main()
     std::map<std::string, double> geo_acc;
     std::map<std::string, int> geo_n;
 
-    std::printf("Figure 6: speed-up over the in-order core (IO)\n");
-    std::printf("(higher is better; %s inputs)\n\n",
-                small ? "small smoke-test" : "full");
-
-    for (const auto& wname :
-         {"vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
-          "backprop", "sw"}) {
-        double io_seconds = 0.0;
+    for (std::size_t wl = 0; wl < n_workloads; ++wl) {
+        const std::string& wname = results[wl].workload;
+        const double io_seconds = at(0, wl).seconds; // systems[0] is IO
         std::vector<std::string> row = {wname};
-        for (const auto& cfg : systems) {
-            auto w = makeWorkload(wname, small);
-            const RunResult r = runWorkload(cfg, *w);
-            if (r.mismatches)
-                fatal("%s failed functionally on %s", wname,
-                      r.system.c_str());
-            if (cfg.kind == SystemKind::IO)
-                io_seconds = r.seconds;
+        for (std::size_t sys = 0; sys < systems.size(); ++sys) {
+            const RunResult& r = at(sys, wl);
             const double speedup = io_seconds / r.seconds;
             row.push_back(TextTable::num(speedup, 2));
             if (geomean_set.count(wname)) {
@@ -74,5 +83,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("* geomean over {k-means, pathfinder, jacobi-2d, "
                 "backprop, sw} (the paper's subset)\n");
+    bench::writeArtifact(results, "fig6_performance.jsonl");
     return 0;
 }

@@ -7,10 +7,13 @@
 #ifndef EVE_BENCH_BENCH_UTIL_HH
 #define EVE_BENCH_BENCH_UTIL_HH
 
+#include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "common/log.hh"
 #include "driver/system.hh"
+#include "exp/exp.hh"
 
 namespace eve::bench
 {
@@ -55,6 +58,55 @@ eveSystems()
     for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u})
         systems.push_back(makeConfig(SystemKind::O3EVE, pf));
     return systems;
+}
+
+/**
+ * The Figure 6 experiment grid as a sweep spec: every Table III
+ * system crossed with the paper's workload list. Shared by the
+ * performance figure (which runs it) and Table III (which only
+ * enumerates expandedSystems()).
+ */
+inline exp::SweepSpec
+fig6Sweep(bool small)
+{
+    exp::SweepSpec spec;
+    spec.systems(fig6Systems());
+    spec.workloads({"vvadd", "mmult", "k-means", "pathfinder",
+                    "jacobi-2d", "backprop", "sw"},
+                   small);
+    return spec;
+}
+
+/** Standard bench runner: env-tunable threads, abort-free sweeps. */
+inline exp::Runner
+makeRunner()
+{
+    exp::RunnerOptions opts;
+    opts.threads = exp::envThreads();
+    return exp::Runner(opts);
+}
+
+/** Die if any job in @p results failed or mismatched. */
+inline void
+requireAllOk(const std::vector<exp::JobResult>& results)
+{
+    for (const auto& r : results) {
+        if (r.status != exp::JobStatus::Ok)
+            fatal("job '%s' %s%s%s", r.label.c_str(),
+                  exp::jobStatusName(r.status),
+                  r.error.empty() ? "" : ": ",
+                  r.error.c_str());
+    }
+}
+
+/** Write the JSONL artifact and tell the user where it went. */
+inline void
+writeArtifact(const std::vector<exp::JobResult>& results,
+              const std::string& name)
+{
+    const std::string path = exp::artifactPath(name);
+    exp::writeJsonLines(results, path);
+    std::fprintf(stderr, "results: %s\n", path.c_str());
 }
 
 } // namespace eve::bench

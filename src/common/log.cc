@@ -1,7 +1,9 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace eve
@@ -9,7 +11,18 @@ namespace eve
 
 namespace
 {
-bool informEnabled = true;
+
+std::atomic<bool> informEnabled{true};
+
+// Serializes sink writes so concurrent Runner jobs cannot interleave
+// partial lines. Each message is formatted before the lock is taken.
+std::mutex&
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 std::string
@@ -33,7 +46,10 @@ panic(const char* fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    }
     std::abort();
 }
 
@@ -44,7 +60,10 @@ fatal(const char* fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    }
     std::exit(1);
 }
 
@@ -55,25 +74,27 @@ warn(const char* fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 inform(const char* fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabled.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 } // namespace eve

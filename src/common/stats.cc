@@ -1,5 +1,8 @@
 #include "common/stats.hh"
 
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace eve
@@ -10,6 +13,13 @@ StatGroup::get(const std::string& stat) const
 {
     auto it = values.find(stat);
     return it == values.end() ? 0.0 : it->second;
+}
+
+void
+StatGroup::merge(const StatGroup& other)
+{
+    for (const auto& [stat, value] : other.values)
+        values[stat] += value;
 }
 
 bool
@@ -34,6 +44,71 @@ StatGroup::dump() const
         os << stat << " = " << value << '\n';
     }
     return os.str();
+}
+
+std::string
+StatGroup::toJson() const
+{
+    return statsToJson(values);
+}
+
+std::string
+jsonNumber(double value)
+{
+    // Counters are usually integral; print them without a fraction
+    // so the output is stable and diff-friendly.
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<std::int64_t>(value));
+        return buf;
+    }
+    if (!std::isfinite(value))
+        return "null"; // JSON has no NaN/Inf
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+statsToJson(const std::map<std::string, double>& values)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [stat, value] : values) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(stat) + "\":" + jsonNumber(value);
+    }
+    out += "}";
+    return out;
 }
 
 } // namespace eve

@@ -41,6 +41,9 @@ class StatGroup
     /** Read a counter; returns 0 for counters never touched. */
     double get(const std::string& stat) const;
 
+    /** Accumulate every counter of @p other into this group. */
+    void merge(const StatGroup& other);
+
     /** True iff the counter has been touched. */
     bool has(const std::string& stat) const;
 
@@ -56,10 +59,26 @@ class StatGroup
     /** Render as "group.stat = value" lines. */
     std::string dump() const;
 
+    /** Render as a JSON object, {"stat": value, ...}, sorted. */
+    std::string toJson() const;
+
   private:
     std::string groupName;
     std::map<std::string, double> values;
 };
+
+/**
+ * Render a stat map as a JSON object with deterministic number
+ * formatting (integers print without a fraction). Shared by
+ * StatGroup::toJson and the experiment result sinks.
+ */
+std::string statsToJson(const std::map<std::string, double>& values);
+
+/** Deterministic JSON number rendering for a double. */
+std::string jsonNumber(double value);
+
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string& s);
 
 } // namespace eve
 

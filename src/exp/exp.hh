@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Umbrella header for the experiment-runner subsystem, plus the
+ * environment conventions shared by the bench harnesses and the
+ * eve_sweep CLI:
+ *
+ *   EVE_EXP_THREADS  worker count (default: hardware concurrency)
+ *   EVE_EXP_OUT_DIR  directory for JSONL/CSV artifacts (default ".")
+ */
+
+#ifndef EVE_EXP_EXP_HH
+#define EVE_EXP_EXP_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "exp/runner.hh"
+#include "exp/sink.hh"
+#include "exp/sweep.hh"
+
+namespace eve::exp
+{
+
+/** Worker count from EVE_EXP_THREADS (0 = hardware concurrency). */
+inline unsigned
+envThreads()
+{
+    const char* env = std::getenv("EVE_EXP_THREADS");
+    if (!env || !env[0])
+        return 0;
+    const long n = std::strtol(env, nullptr, 10);
+    return n > 0 ? static_cast<unsigned>(n) : 0;
+}
+
+/** "<EVE_EXP_OUT_DIR>/<name>" ("./<name>" by default). */
+inline std::string
+artifactPath(const std::string& name)
+{
+    const char* env = std::getenv("EVE_EXP_OUT_DIR");
+    std::string dir = (env && env[0]) ? env : ".";
+    if (dir.back() != '/')
+        dir += '/';
+    return dir + name;
+}
+
+} // namespace eve::exp
+
+#endif // EVE_EXP_EXP_HH

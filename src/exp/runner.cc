@@ -1,0 +1,148 @@
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace eve::exp
+{
+
+const char*
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Mismatch: return "mismatch";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
+Runner::Runner(RunnerOptions options) : opts(std::move(options)) {}
+
+unsigned
+Runner::effectiveThreads(std::size_t job_count) const
+{
+    unsigned n = opts.threads;
+    if (n == 0)
+        n = std::thread::hardware_concurrency();
+    if (n == 0)
+        n = 1;
+    if (job_count > 0 && n > job_count)
+        n = static_cast<unsigned>(job_count);
+    return n;
+}
+
+std::vector<JobResult>
+Runner::run(const SweepSpec& spec) const
+{
+    return run(spec.jobs());
+}
+
+namespace
+{
+
+/** Execute one job, converting every failure mode into the status. */
+void
+executeJob(const Job& job, JobResult& out)
+{
+    out.index = job.index;
+    out.label = job.label;
+    out.workload = job.workload;
+    out.config = job.config;
+    out.axes = job.axes;
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        std::unique_ptr<Workload> workload = job.make();
+        if (!workload)
+            throw std::runtime_error("unknown workload '" +
+                                     job.workload + "'");
+        out.result = runWorkload(job.config, *workload);
+        out.status = out.result.mismatches ? JobStatus::Mismatch
+                                           : JobStatus::Ok;
+    } catch (const std::exception& e) {
+        out.status = JobStatus::Failed;
+        out.error = e.what();
+    } catch (...) {
+        out.status = JobStatus::Failed;
+        out.error = "unknown exception";
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+}
+
+} // namespace
+
+std::vector<JobResult>
+Runner::run(const std::vector<Job>& jobs) const
+{
+    std::vector<JobResult> results(jobs.size());
+    // Pre-fill identity fields so Skipped entries are still labelled.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        results[i].index = jobs[i].index;
+        results[i].label = jobs[i].label;
+        results[i].workload = jobs[i].workload;
+        results[i].config = jobs[i].config;
+        results[i].axes = jobs[i].axes;
+    }
+    if (jobs.empty())
+        return results;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> stop{false};
+    std::mutex progress_mutex;
+
+    auto worker = [&]() {
+        while (true) {
+            if (stop.load(std::memory_order_acquire))
+                return;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            executeJob(jobs[i], results[i]);
+            if (results[i].status == JobStatus::Failed &&
+                opts.on_failure == FailurePolicy::Abort) {
+                stop.store(true, std::memory_order_release);
+            }
+            const std::size_t n_done =
+                done.fetch_add(1, std::memory_order_acq_rel) + 1;
+            if (opts.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                opts.progress(results[i], n_done, jobs.size());
+            }
+        }
+    };
+
+    const unsigned n_threads = effectiveThreads(jobs.size());
+    if (n_threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned t = 0; t < n_threads; ++t)
+            pool.emplace_back(worker);
+        for (auto& t : pool)
+            t.join();
+    }
+    return results;
+}
+
+std::size_t
+countStatus(const std::vector<JobResult>& results, JobStatus status)
+{
+    std::size_t n = 0;
+    for (const auto& r : results)
+        n += r.status == status;
+    return n;
+}
+
+} // namespace eve::exp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Thread-pool sweep execution.
+ *
+ * The Runner executes the independent (config, workload) jobs of a
+ * SweepSpec on a pool of worker threads. Each job builds a private
+ * System and Workload, so jobs share no mutable state and the
+ * simulated results are identical whatever the thread count.
+ *
+ * Guarantees:
+ *  - results are keyed by job index (deterministic ordering, never
+ *    completion order);
+ *  - a throwing or functionally mismatching job is recorded with a
+ *    non-Ok status instead of aborting the sweep (policy Record);
+ *    policy Abort stops scheduling new jobs after the first failure
+ *    but still returns every result produced so far;
+ *  - the progress callback is serialized (called under a mutex) and
+ *    observes monotonically increasing completion counts.
+ */
+
+#ifndef EVE_EXP_RUNNER_HH
+#define EVE_EXP_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/system.hh"
+#include "exp/sweep.hh"
+
+namespace eve::exp
+{
+
+/** Outcome of one job. */
+enum class JobStatus
+{
+    Ok,       ///< simulation ran and the functional check passed
+    Mismatch, ///< simulation ran but verify() found mismatches
+    Failed,   ///< the job threw; RunResult is not meaningful
+    Skipped,  ///< not executed (Abort policy stopped the sweep)
+};
+
+/** Printable status name ("ok", "mismatch", "failed", "skipped"). */
+const char* jobStatusName(JobStatus status);
+
+/** One job together with its outcome. */
+struct JobResult
+{
+    std::size_t index = 0;    ///< job index within the sweep
+    std::string label;        ///< from Job::label
+    std::string workload;     ///< from Job::workload
+    SystemConfig config;      ///< from Job::config
+    std::vector<std::pair<std::string, std::string>> axes;
+
+    JobStatus status = JobStatus::Skipped;
+    std::string error;        ///< exception text when Failed
+    double wall_seconds = 0;  ///< host wall-clock time of the job
+    RunResult result;         ///< valid when status != Failed/Skipped
+};
+
+/** What to do when a job fails. */
+enum class FailurePolicy
+{
+    Record, ///< mark the job failed, keep sweeping (default)
+    Abort,  ///< stop handing out new jobs after the first failure
+};
+
+/** Called after each job completes; serialized across workers. */
+using ProgressFn = std::function<void(
+    const JobResult& r, std::size_t done, std::size_t total)>;
+
+struct RunnerOptions
+{
+    /** Worker count; 0 means std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+    FailurePolicy on_failure = FailurePolicy::Record;
+    ProgressFn progress;
+};
+
+/** Executes sweep jobs on a thread pool. */
+class Runner
+{
+  public:
+    explicit Runner(RunnerOptions options = {});
+
+    /** Expand @p spec and run every job; results ordered by index. */
+    std::vector<JobResult> run(const SweepSpec& spec) const;
+
+    /** Run an explicit job list; results ordered by index. */
+    std::vector<JobResult> run(const std::vector<Job>& jobs) const;
+
+    /** The worker count a run() call will use. */
+    unsigned effectiveThreads(std::size_t job_count) const;
+
+  private:
+    RunnerOptions opts;
+};
+
+/** Count results with the given status. */
+std::size_t countStatus(const std::vector<JobResult>& results,
+                        JobStatus status);
+
+} // namespace eve::exp
+
+#endif // EVE_EXP_RUNNER_HH

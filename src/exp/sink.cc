@@ -1,0 +1,188 @@
+#include "exp/sink.hh"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace eve::exp
+{
+
+namespace
+{
+
+std::string
+quoted(const std::string& s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+} // namespace
+
+std::string
+resultToJson(const JobResult& r, bool include_host_time)
+{
+    std::ostringstream os;
+    os << "{\"index\":" << r.index
+       << ",\"label\":" << quoted(r.label)
+       << ",\"system\":" << quoted(systemName(r.config))
+       << ",\"workload\":" << quoted(r.workload)
+       << ",\"status\":" << quoted(jobStatusName(r.status));
+    if (!r.axes.empty()) {
+        os << ",\"axes\":{";
+        bool first = true;
+        for (const auto& [name, value] : r.axes) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << quoted(name) << ":" << quoted(value);
+        }
+        os << "}";
+    }
+    if (r.status == JobStatus::Failed)
+        os << ",\"error\":" << quoted(r.error);
+    if (include_host_time)
+        os << ",\"wall_s\":" << jsonNumber(r.wall_seconds);
+    if (r.status == JobStatus::Ok || r.status == JobStatus::Mismatch) {
+        const RunResult& res = r.result;
+        os << ",\"cycles\":" << jsonNumber(res.cycles)
+           << ",\"seconds\":" << jsonNumber(res.seconds)
+           << ",\"instrs\":" << res.instrs
+           << ",\"mismatches\":" << res.mismatches
+           << ",\"vec_instrs\":" << res.vecInstrs
+           << ",\"vec_elem_ops\":" << res.vecElemOps
+           << ",\"stats\":" << statsToJson(res.stats);
+        if (res.has_breakdown) {
+            const EveBreakdown& b = res.breakdown;
+            os << ",\"breakdown\":{"
+               << "\"busy\":" << jsonNumber(b.busy)
+               << ",\"vru_stall\":" << jsonNumber(b.vru_stall)
+               << ",\"ld_mem_stall\":" << jsonNumber(b.ld_mem_stall)
+               << ",\"st_mem_stall\":" << jsonNumber(b.st_mem_stall)
+               << ",\"ld_dt_stall\":" << jsonNumber(b.ld_dt_stall)
+               << ",\"st_dt_stall\":" << jsonNumber(b.st_dt_stall)
+               << ",\"vmu_stall\":" << jsonNumber(b.vmu_stall)
+               << ",\"empty_stall\":" << jsonNumber(b.empty_stall)
+               << ",\"dep_stall\":" << jsonNumber(b.dep_stall)
+               << "}";
+        }
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+JsonLinesSink::write(const JobResult& r)
+{
+    os << resultToJson(r) << '\n';
+}
+
+void
+CsvSink::write(const JobResult& r)
+{
+    rows.push_back(r);
+}
+
+namespace
+{
+
+std::string
+csvField(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+std::string
+CsvSink::render() const
+{
+    // Axis and stat columns are the sorted union over all rows, so
+    // heterogeneous sweeps (e.g. EVE + scalar systems) line up.
+    std::set<std::string> axis_names;
+    std::set<std::string> stat_keys;
+    for (const auto& r : rows) {
+        for (const auto& [name, value] : r.axes)
+            axis_names.insert(name);
+        for (const auto& [key, value] : r.result.stats)
+            stat_keys.insert(key);
+    }
+
+    std::ostringstream os;
+    os << "index,label,system,workload,status,wall_s,cycles,seconds,"
+          "instrs,mismatches";
+    for (const auto& name : axis_names)
+        os << ',' << csvField(name);
+    for (const auto& key : stat_keys)
+        os << ',' << csvField(key);
+    os << '\n';
+
+    for (const auto& r : rows) {
+        os << r.index << ',' << csvField(r.label) << ','
+           << csvField(systemName(r.config)) << ','
+           << csvField(r.workload) << ',' << jobStatusName(r.status)
+           << ',' << jsonNumber(r.wall_seconds) << ','
+           << jsonNumber(r.result.cycles) << ','
+           << jsonNumber(r.result.seconds) << ',' << r.result.instrs
+           << ',' << r.result.mismatches;
+        for (const auto& name : axis_names) {
+            os << ',';
+            for (const auto& [ax, value] : r.axes) {
+                if (ax == name) {
+                    os << csvField(value);
+                    break;
+                }
+            }
+        }
+        for (const auto& key : stat_keys) {
+            os << ',';
+            auto it = r.result.stats.find(key);
+            if (it != r.result.stats.end())
+                os << jsonNumber(it->second);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+writeJsonLines(const std::vector<JobResult>& results,
+               const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    JsonLinesSink sink(out);
+    for (const auto& r : results)
+        sink.write(r);
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+void
+writeCsv(const std::vector<JobResult>& results, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    CsvSink sink;
+    for (const auto& r : results)
+        sink.write(r);
+    out << sink.render();
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+} // namespace eve::exp

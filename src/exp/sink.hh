@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Result sinks: machine-readable serialization of sweep results.
+ *
+ * Two formats are provided:
+ *  - JSON lines (one self-describing object per job) for downstream
+ *    tooling; includes the flattened stats map and the EVE execution
+ *    breakdown;
+ *  - CSV with one column per core field, axis, and stat key (the
+ *    union over all rows), for spreadsheet-style analysis.
+ *
+ * resultToJson() is deliberately split into the full record and a
+ * timing-free payload: the payload contains only simulated
+ * quantities, so two runs of the same sweep — at any thread count —
+ * must produce byte-identical payloads (the determinism tests rely
+ * on this).
+ */
+
+#ifndef EVE_EXP_SINK_HH
+#define EVE_EXP_SINK_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+
+namespace eve::exp
+{
+
+/**
+ * One JSON object for @p r: system, workload, label, axes, status,
+ * cycles, seconds, instrs, mismatches, the stats map, and the EVE
+ * breakdown when present. @p include_host_time adds the host
+ * wall-clock field ("wall_s"), which is *not* deterministic.
+ */
+std::string resultToJson(const JobResult& r,
+                         bool include_host_time = true);
+
+/** Streaming sink interface. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+    virtual void write(const JobResult& r) = 0;
+};
+
+/** Writes one JSON object per line to a stream. */
+class JsonLinesSink : public ResultSink
+{
+  public:
+    explicit JsonLinesSink(std::ostream& os) : os(os) {}
+    void write(const JobResult& r) override;
+
+  private:
+    std::ostream& os;
+};
+
+/**
+ * Buffers rows and renders a CSV whose stat columns are the union of
+ * every row's stat keys (sorted). Call render() once at the end.
+ */
+class CsvSink : public ResultSink
+{
+  public:
+    void write(const JobResult& r) override;
+
+    /** Header + one line per written result. */
+    std::string render() const;
+
+  private:
+    std::vector<JobResult> rows;
+};
+
+/** Serialize @p results as JSON lines to @p path (fatal on I/O error). */
+void writeJsonLines(const std::vector<JobResult>& results,
+                    const std::string& path);
+
+/** Serialize @p results as CSV to @p path (fatal on I/O error). */
+void writeCsv(const std::vector<JobResult>& results,
+              const std::string& path);
+
+} // namespace eve::exp
+
+#endif // EVE_EXP_SINK_HH

@@ -1,0 +1,150 @@
+#include "exp/sweep.hh"
+
+#include "common/log.hh"
+
+namespace eve::exp
+{
+
+SweepSpec&
+SweepSpec::system(const SystemConfig& config)
+{
+    base_systems.push_back(config);
+    return *this;
+}
+
+SweepSpec&
+SweepSpec::systems(const std::vector<SystemConfig>& configs)
+{
+    base_systems.insert(base_systems.end(), configs.begin(),
+                        configs.end());
+    return *this;
+}
+
+SweepSpec&
+SweepSpec::axis(Axis ax)
+{
+    if (ax.points.empty())
+        fatal("sweep axis '%s' has no points", ax.name.c_str());
+    axis_list.push_back(std::move(ax));
+    return *this;
+}
+
+SweepSpec&
+SweepSpec::workload(const std::string& name, WorkloadFactory make)
+{
+    workload_list.push_back({name, std::move(make)});
+    return *this;
+}
+
+SweepSpec&
+SweepSpec::workloads(const std::vector<std::string>& names, bool small)
+{
+    for (const auto& name : names) {
+        workload_list.push_back(
+            {name, [name, small]() { return makeWorkload(name, small); }});
+    }
+    return *this;
+}
+
+void
+SweepSpec::expand(
+    const std::function<void(
+        const SystemConfig&, const std::string&,
+        const std::vector<std::pair<std::string, std::string>>&)>& visit)
+    const
+{
+    // One default config when none was given, so axis-only sweeps work.
+    std::vector<SystemConfig> bases = base_systems;
+    if (bases.empty())
+        bases.emplace_back();
+
+    // Odometer over the axis points; base config outermost.
+    std::vector<std::size_t> idx(axis_list.size(), 0);
+    for (const auto& base : bases) {
+        std::fill(idx.begin(), idx.end(), 0);
+        bool done = false;
+        while (!done) {
+            SystemConfig cfg = base;
+            std::vector<std::pair<std::string, std::string>> axes;
+            std::string axis_suffix;
+            for (std::size_t a = 0; a < axis_list.size(); ++a) {
+                const AxisPoint& pt = axis_list[a].points[idx[a]];
+                pt.apply(cfg);
+                axes.emplace_back(axis_list[a].name, pt.label);
+                axis_suffix += "/" + axis_list[a].name + "=" + pt.label;
+            }
+            // Name the *overridden* config, so an axis that changes
+            // e.g. eve_pf shows up in the system part of the label.
+            visit(cfg, systemName(cfg) + axis_suffix, axes);
+
+            // Increment the odometer, last axis fastest.
+            done = true;
+            for (std::size_t a = axis_list.size(); a-- > 0;) {
+                if (++idx[a] < axis_list[a].points.size()) {
+                    done = false;
+                    break;
+                }
+                idx[a] = 0;
+            }
+        }
+    }
+}
+
+std::vector<SystemConfig>
+SweepSpec::expandedSystems() const
+{
+    std::vector<SystemConfig> out;
+    expand([&](const SystemConfig& cfg, const std::string&,
+               const auto&) { out.push_back(cfg); });
+    return out;
+}
+
+std::vector<std::string>
+SweepSpec::expandedSystemLabels() const
+{
+    std::vector<std::string> out;
+    expand([&](const SystemConfig&, const std::string& label,
+               const auto&) { out.push_back(label); });
+    return out;
+}
+
+std::size_t
+SweepSpec::systemCount() const
+{
+    std::size_t n = base_systems.empty() ? 1 : base_systems.size();
+    for (const auto& ax : axis_list)
+        n *= ax.points.size();
+    return n;
+}
+
+std::vector<Job>
+SweepSpec::jobs() const
+{
+    if (workload_list.empty())
+        fatal("sweep has no workloads; add workload() axes before "
+              "expanding jobs");
+    for (const auto& w : workload_list) {
+        if (!w.make)
+            fatal("workload '%s' has a null factory", w.name.c_str());
+    }
+
+    std::vector<Job> out;
+    out.reserve(systemCount() * workload_list.size());
+    expand([&](const SystemConfig& cfg, const std::string& label,
+               const std::vector<std::pair<std::string, std::string>>&
+                   axes) {
+        for (const auto& w : workload_list) {
+            Job job;
+            job.index = out.size();
+            job.label = label + "/" + w.name;
+            job.config = cfg;
+            job.workload = w.name;
+            job.make = w.make;
+            job.axes = axes;
+            out.push_back(std::move(job));
+        }
+    });
+    return out;
+}
+
+} // namespace eve::exp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Declarative sweep specifications.
+ *
+ * A SweepSpec names the axes of an experiment grid — a list of base
+ * system configurations, any number of named override axes (each a
+ * list of labelled SystemConfig mutations), and a list of named
+ * workload factories — and expands their cartesian product into a
+ * deterministic, index-ordered list of Jobs for the Runner.
+ *
+ * Expansion order (fixed, so callers can index results directly):
+ * base systems outermost, then each axis in the order it was added,
+ * then workloads innermost (fastest varying).
+ *
+ * Existing ablations become one-liners via the override axes, e.g.
+ *
+ *     SweepSpec spec;
+ *     spec.system(bench::makeConfig(SystemKind::O3EVE, 8))
+ *         .axis<unsigned>("llc_mshrs", {8, 16, 32, 64, 128, 256},
+ *                         [](SystemConfig& c, unsigned m) {
+ *                             c.llc_mshrs = m;
+ *                         })
+ *         .workloads({"backprop", "k-means", "vvadd"}, small);
+ */
+
+#ifndef EVE_EXP_SWEEP_HH
+#define EVE_EXP_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/system.hh"
+#include "workloads/workload.hh"
+
+namespace eve::exp
+{
+
+/** Builds a fresh Workload instance for one job. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/** One labelled point on an override axis. */
+struct AxisPoint
+{
+    std::string label;                        ///< e.g. "64"
+    std::function<void(SystemConfig&)> apply; ///< config mutation
+};
+
+/** One named override axis (cartesian with every other axis). */
+struct Axis
+{
+    std::string name;              ///< e.g. "llc_mshrs"
+    std::vector<AxisPoint> points;
+};
+
+/** One (config, workload) cell of the expanded grid. */
+struct Job
+{
+    std::size_t index = 0;    ///< position in the expansion order
+    std::string label;        ///< "system/axis=point/.../workload"
+    SystemConfig config;      ///< fully overridden configuration
+    std::string workload;     ///< workload name
+    WorkloadFactory make;     ///< builds the job's workload
+
+    /** (axis name, point label) in axis-declaration order. */
+    std::vector<std::pair<std::string, std::string>> axes;
+};
+
+/** Declarative cartesian sweep over configs, axes, and workloads. */
+class SweepSpec
+{
+  public:
+    /** Append one base system configuration. */
+    SweepSpec& system(const SystemConfig& config);
+
+    /** Append several base system configurations. */
+    SweepSpec& systems(const std::vector<SystemConfig>& configs);
+
+    /** Append a pre-labelled override axis. */
+    SweepSpec& axis(Axis ax);
+
+    /**
+     * Numeric-axis convenience: one point per value, labelled with
+     * std::to_string(value), applied through @p apply.
+     */
+    template <typename T>
+    SweepSpec&
+    axis(const std::string& name, const std::vector<T>& values,
+         std::function<void(SystemConfig&, T)> apply)
+    {
+        Axis ax;
+        ax.name = name;
+        for (const T& value : values) {
+            ax.points.push_back(
+                {std::to_string(value),
+                 [apply, value](SystemConfig& c) { apply(c, value); }});
+        }
+        return axis(std::move(ax));
+    }
+
+    /** Append one named workload factory. */
+    SweepSpec& workload(const std::string& name, WorkloadFactory make);
+
+    /**
+     * Append the named paper workloads via eve::makeWorkload.
+     * Unknown names surface as failed jobs at run time.
+     */
+    SweepSpec& workloads(const std::vector<std::string>& names,
+                         bool small);
+
+    /**
+     * Every base configuration with every axis override applied, in
+     * expansion order (no workload dimension). Used by harnesses
+     * that only need the configuration grid (e.g. Table III).
+     */
+    std::vector<SystemConfig> expandedSystems() const;
+
+    /** Labels parallel to expandedSystems(). */
+    std::vector<std::string> expandedSystemLabels() const;
+
+    /** Expand the full cartesian product, indexed 0..N-1. */
+    std::vector<Job> jobs() const;
+
+    std::size_t systemCount() const;
+    std::size_t workloadCount() const { return workload_list.size(); }
+
+  private:
+    struct NamedWorkload
+    {
+        std::string name;
+        WorkloadFactory make;
+    };
+
+    /** Walk the config × axis product, calling @p visit per point. */
+    void expand(const std::function<void(
+                    const SystemConfig&, const std::string& label,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        axes)>& visit) const;
+
+    std::vector<SystemConfig> base_systems;
+    std::vector<Axis> axis_list;
+    std::vector<NamedWorkload> workload_list;
+};
+
+} // namespace eve::exp
+
+#endif // EVE_EXP_SWEEP_HH

@@ -124,6 +124,41 @@ TEST(Stats, ClearResets)
     EXPECT_FALSE(g.has("a"));
 }
 
+TEST(Stats, MergeAccumulates)
+{
+    StatGroup a("core");
+    a.add("instrs", 10);
+    a.add("cycles", 4);
+    StatGroup b("core");
+    b.add("instrs", 5);
+    b.add("stalls", 2);
+    a.merge(b);
+    EXPECT_EQ(a.get("instrs"), 15.0);
+    EXPECT_EQ(a.get("cycles"), 4.0);
+    EXPECT_EQ(a.get("stalls"), 2.0);
+    // merge() leaves the source untouched.
+    EXPECT_EQ(b.get("instrs"), 5.0);
+    EXPECT_FALSE(b.has("cycles"));
+}
+
+TEST(Stats, ToJsonSortedAndTyped)
+{
+    StatGroup g("llc");
+    g.add("misses", 3);
+    g.add("hit_rate", 0.5);
+    EXPECT_EQ(g.toJson(), "{\"hit_rate\":0.5,\"misses\":3}");
+    EXPECT_EQ(StatGroup("empty").toJson(), "{}");
+}
+
+TEST(Stats, JsonHelpers)
+{
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-7.0), "-7");
+    EXPECT_EQ(jsonNumber(0.25), "0.25");
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(statsToJson({{"k", 1.0}}), "{\"k\":1}");
+}
+
 namespace
 {
 std::string

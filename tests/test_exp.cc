@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Experiment-runner subsystem tests: sweep expansion, thread-pool
+ * determinism, failure policies, progress reporting, and the
+ * JSONL/CSV result sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/exp.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+using namespace eve::exp;
+
+namespace
+{
+
+/** A workload whose init() always throws. */
+class ThrowingWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "throwing"; }
+    std::string suite() const override { return "test"; }
+    void init() override
+    {
+        throw std::runtime_error("injected failure");
+    }
+    void emitScalar(InstrSink&) override {}
+    void emitVector(InstrSink&, std::uint32_t) override {}
+    std::uint64_t verify() const override { return 0; }
+};
+
+SweepSpec
+smallGrid()
+{
+    SweepSpec spec;
+    SystemConfig io;
+    io.kind = SystemKind::IO;
+    SystemConfig o3eve;
+    o3eve.kind = SystemKind::O3EVE;
+    o3eve.eve_pf = 8;
+    spec.system(io).system(o3eve);
+    spec.axis<unsigned>("llc_mshrs", {16, 32},
+                        [](SystemConfig& c, unsigned m) {
+                            c.llc_mshrs = m;
+                        });
+    spec.workloads({"vvadd"}, /*small=*/true);
+    return spec;
+}
+
+} // namespace
+
+TEST(SweepSpec, CartesianExpansionOrderAndLabels)
+{
+    const auto jobs = smallGrid().jobs();
+    ASSERT_EQ(jobs.size(), 4u); // 2 systems x 2 axis points x 1 wl
+
+    // Systems outermost, axis next, workloads innermost.
+    EXPECT_EQ(jobs[0].label, "IO/llc_mshrs=16/vvadd");
+    EXPECT_EQ(jobs[1].label, "IO/llc_mshrs=32/vvadd");
+    EXPECT_EQ(jobs[2].label, "O3+EVE-8/llc_mshrs=16/vvadd");
+    EXPECT_EQ(jobs[3].label, "O3+EVE-8/llc_mshrs=32/vvadd");
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].index, i);
+
+    EXPECT_EQ(jobs[0].config.llc_mshrs, 16u);
+    EXPECT_EQ(jobs[1].config.llc_mshrs, 32u);
+    EXPECT_EQ(jobs[3].config.kind, SystemKind::O3EVE);
+    ASSERT_EQ(jobs[2].axes.size(), 1u);
+    EXPECT_EQ(jobs[2].axes[0].first, "llc_mshrs");
+    EXPECT_EQ(jobs[2].axes[0].second, "16");
+}
+
+TEST(SweepSpec, ExpandedSystemsMatchesJobGrid)
+{
+    const auto spec = smallGrid();
+    const auto systems = spec.expandedSystems();
+    ASSERT_EQ(systems.size(), 4u);
+    EXPECT_EQ(spec.systemCount(), 4u);
+    EXPECT_EQ(systems[0].llc_mshrs, 16u);
+    EXPECT_EQ(systems[3].kind, SystemKind::O3EVE);
+    const auto labels = spec.expandedSystemLabels();
+    ASSERT_EQ(labels.size(), 4u);
+    EXPECT_EQ(labels[0], "IO/llc_mshrs=16");
+}
+
+TEST(SweepSpec, TwoAxesMultiply)
+{
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3EVE;
+    spec.system(cfg);
+    spec.axis<unsigned>("pf", {4, 8},
+                        [](SystemConfig& c, unsigned v) {
+                            c.eve_pf = v;
+                        });
+    spec.axis<unsigned>("dtus", {4, 8, 16},
+                        [](SystemConfig& c, unsigned v) {
+                            c.dtus = v;
+                        });
+    spec.workload("w", [] { return makeWorkload("vvadd", true); });
+    const auto jobs = spec.jobs();
+    ASSERT_EQ(jobs.size(), 6u);
+    // Second axis varies fastest.
+    EXPECT_EQ(jobs[0].config.eve_pf, 4u);
+    EXPECT_EQ(jobs[0].config.dtus, 4u);
+    EXPECT_EQ(jobs[1].config.dtus, 8u);
+    EXPECT_EQ(jobs[3].config.eve_pf, 8u);
+    EXPECT_EQ(jobs[3].config.dtus, 4u);
+}
+
+TEST(Runner, ParallelMatchesSerialByteIdentical)
+{
+    const auto spec = smallGrid();
+
+    RunnerOptions serial_opts;
+    serial_opts.threads = 1;
+    const auto serial = Runner(serial_opts).run(spec);
+
+    RunnerOptions par_opts;
+    par_opts.threads = 8;
+    const auto parallel = Runner(par_opts).run(spec);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].status, JobStatus::Ok) << serial[i].label;
+        // Timing-free payloads must be byte-identical: results are
+        // keyed by job index and the simulation has no shared state.
+        EXPECT_EQ(resultToJson(serial[i], false),
+                  resultToJson(parallel[i], false))
+            << serial[i].label;
+    }
+}
+
+TEST(Runner, RecordPolicyKeepsSweeping)
+{
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3;
+    spec.system(cfg);
+    spec.workload("throwing",
+                  [] { return std::make_unique<ThrowingWorkload>(); });
+    spec.workload("vvadd", [] { return makeWorkload("vvadd", true); });
+
+    RunnerOptions opts;
+    opts.threads = 2;
+    const auto results = Runner(opts).run(spec);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Failed);
+    EXPECT_NE(results[0].error.find("injected failure"),
+              std::string::npos);
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+    EXPECT_GT(results[1].result.cycles, 0.0);
+}
+
+TEST(Runner, NullFactoryIsRecordedFailure)
+{
+    SweepSpec spec;
+    spec.workloads({"no-such-workload"}, true);
+    RunnerOptions opts;
+    opts.threads = 1;
+    const auto results = Runner(opts).run(spec);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Failed);
+    EXPECT_NE(results[0].error.find("no-such-workload"),
+              std::string::npos);
+}
+
+TEST(Runner, AbortPolicyStopsSchedulingNewJobs)
+{
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3;
+    spec.system(cfg);
+    spec.workload("throwing",
+                  [] { return std::make_unique<ThrowingWorkload>(); });
+    spec.workload("vvadd", [] { return makeWorkload("vvadd", true); });
+
+    RunnerOptions opts;
+    opts.threads = 1;
+    opts.on_failure = FailurePolicy::Abort;
+    const auto results = Runner(opts).run(spec);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Failed);
+    EXPECT_EQ(results[1].status, JobStatus::Skipped);
+    // Skipped entries keep their identity for reporting.
+    EXPECT_EQ(results[1].workload, "vvadd");
+    EXPECT_EQ(countStatus(results, JobStatus::Skipped), 1u);
+}
+
+TEST(Runner, ProgressIsSerializedAndMonotonic)
+{
+    const auto spec = smallGrid();
+    std::vector<std::size_t> seen_done;
+    RunnerOptions opts;
+    opts.threads = 4;
+    opts.progress = [&](const JobResult&, std::size_t done,
+                        std::size_t total) {
+        EXPECT_EQ(total, 4u);
+        seen_done.push_back(done); // safe: callback is serialized
+    };
+    const auto results = Runner(opts).run(spec);
+    ASSERT_EQ(results.size(), 4u);
+    ASSERT_EQ(seen_done.size(), 4u);
+    for (std::size_t i = 0; i < seen_done.size(); ++i)
+        EXPECT_EQ(seen_done[i], i + 1);
+}
+
+TEST(Sink, JsonLineHasSchemaFields)
+{
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3EVE;
+    cfg.eve_pf = 8;
+    spec.system(cfg).workloads({"vvadd"}, true);
+    RunnerOptions opts;
+    opts.threads = 1;
+    const auto results = Runner(opts).run(spec);
+    ASSERT_EQ(results.size(), 1u);
+
+    const std::string json = resultToJson(results[0]);
+    EXPECT_NE(json.find("\"system\":\"O3+EVE-8\""), std::string::npos);
+    EXPECT_NE(json.find("\"workload\":\"vvadd\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":"), std::string::npos);
+    EXPECT_NE(json.find("\"seconds\":"), std::string::npos);
+    EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_s\":"), std::string::npos);
+    EXPECT_NE(json.find("\"breakdown\":{"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+
+    std::ostringstream os;
+    JsonLinesSink sink(os);
+    sink.write(results[0]);
+    EXPECT_EQ(os.str(), json + "\n");
+}
+
+TEST(Sink, FailedJobJsonCarriesErrorNotStats)
+{
+    JobResult r;
+    r.index = 7;
+    r.label = "x";
+    r.workload = "w";
+    r.status = JobStatus::Failed;
+    r.error = "boom \"quoted\"";
+    const std::string json = resultToJson(r);
+    EXPECT_NE(json.find("\"status\":\"failed\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_EQ(json.find("\"stats\""), std::string::npos);
+}
+
+TEST(Sink, CsvUnionsStatColumns)
+{
+    JobResult a;
+    a.index = 0;
+    a.label = "a";
+    a.workload = "w";
+    a.status = JobStatus::Ok;
+    a.result.cycles = 10;
+    a.result.stats["core.instrs"] = 5;
+    JobResult b;
+    b.index = 1;
+    b.label = "b,with comma";
+    b.workload = "w";
+    b.status = JobStatus::Ok;
+    b.result.cycles = 20;
+    b.result.stats["llc.misses"] = 3;
+
+    CsvSink sink;
+    sink.write(a);
+    sink.write(b);
+    const std::string csv = sink.render();
+
+    std::istringstream is(csv);
+    std::string header, row_a, row_b;
+    std::getline(is, header);
+    std::getline(is, row_a);
+    std::getline(is, row_b);
+    EXPECT_NE(header.find("core.instrs"), std::string::npos);
+    EXPECT_NE(header.find("llc.misses"), std::string::npos);
+    EXPECT_NE(row_b.find("\"b,with comma\""), std::string::npos);
+    // Row a has no llc.misses value: empty trailing field.
+    EXPECT_NE(row_a.find(",5,"), std::string::npos);
+}

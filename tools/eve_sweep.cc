@@ -1,0 +1,226 @@
+/**
+ * @file
+ * eve_sweep — gem5-runner-style command-line front end for the
+ * experiment subsystem. Every axis is a comma-separated flag; the
+ * cartesian product runs on a thread pool and lands in JSONL/CSV.
+ *
+ *   eve_sweep --systems O3,O3EVE --pf 4,8 --workloads vvadd,backprop
+ *             --llc-mshrs 32,64 --threads 8 --small
+ *             --json out.jsonl --csv out.csv
+ *
+ * Flags:
+ *   --systems   IO,O3,O3IV,O3DV,O3EVE   (default O3EVE)
+ *   --pf        EVE parallelization factors     (axis)
+ *   --llc-mshrs LLC MSHR counts                 (axis)
+ *   --l2-mshrs  L2 MSHR counts                  (axis)
+ *   --dtus      data-transfer-unit counts       (axis)
+ *   --prefetch  LLC prefetch line depths        (axis)
+ *   --workloads workload names (default: all paper workloads)
+ *   --threads   worker threads (default: hardware concurrency)
+ *   --small     use small smoke-test inputs
+ *   --keep-going / --abort-on-failure  failure policy (default keep)
+ *   --json PATH write JSON lines        --csv PATH write CSV
+ *   --quiet     suppress progress lines
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "exp/exp.hh"
+#include "workloads/workload.hh"
+
+using namespace eve;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string& arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::vector<unsigned>
+splitUnsigned(const std::string& flag, const std::string& arg)
+{
+    std::vector<unsigned> out;
+    for (const auto& tok : splitList(arg)) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+        if (!end || *end != '\0')
+            fatal("%s: '%s' is not a number", flag.c_str(),
+                  tok.c_str());
+        out.push_back(static_cast<unsigned>(v));
+    }
+    if (out.empty())
+        fatal("%s: empty value list", flag.c_str());
+    return out;
+}
+
+SystemKind
+parseKind(const std::string& name)
+{
+    if (name == "IO") return SystemKind::IO;
+    if (name == "O3") return SystemKind::O3;
+    if (name == "O3IV") return SystemKind::O3IV;
+    if (name == "O3DV") return SystemKind::O3DV;
+    if (name == "O3EVE") return SystemKind::O3EVE;
+    fatal("unknown system kind '%s' (want IO, O3, O3IV, O3DV, or "
+          "O3EVE)", name.c_str());
+}
+
+const std::vector<std::string> kAllWorkloads = {
+    "vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
+    "backprop", "sw"};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    setInformEnabled(false);
+
+    std::vector<std::string> systems = {"O3EVE"};
+    std::vector<std::string> workloads = kAllWorkloads;
+    std::vector<unsigned> pfs, llc_mshrs, l2_mshrs, dtus, prefetch;
+    std::string json_path, csv_path;
+    exp::RunnerOptions opts;
+    opts.threads = exp::envThreads();
+    bool small = false;
+    bool quiet = false;
+
+    auto need = [&](int i) -> std::string {
+        if (i + 1 >= argc)
+            fatal("%s needs a value", argv[i]);
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--systems") {
+            systems = splitList(need(i)); ++i;
+        } else if (flag == "--workloads") {
+            workloads = splitList(need(i)); ++i;
+        } else if (flag == "--pf") {
+            pfs = splitUnsigned(flag, need(i)); ++i;
+        } else if (flag == "--llc-mshrs") {
+            llc_mshrs = splitUnsigned(flag, need(i)); ++i;
+        } else if (flag == "--l2-mshrs") {
+            l2_mshrs = splitUnsigned(flag, need(i)); ++i;
+        } else if (flag == "--dtus") {
+            dtus = splitUnsigned(flag, need(i)); ++i;
+        } else if (flag == "--prefetch") {
+            prefetch = splitUnsigned(flag, need(i)); ++i;
+        } else if (flag == "--threads") {
+            opts.threads = splitUnsigned(flag, need(i)).front(); ++i;
+        } else if (flag == "--json") {
+            json_path = need(i); ++i;
+        } else if (flag == "--csv") {
+            csv_path = need(i); ++i;
+        } else if (flag == "--small") {
+            small = true;
+        } else if (flag == "--quiet") {
+            quiet = true;
+        } else if (flag == "--keep-going") {
+            opts.on_failure = exp::FailurePolicy::Record;
+        } else if (flag == "--abort-on-failure") {
+            opts.on_failure = exp::FailurePolicy::Abort;
+        } else if (flag == "--help" || flag == "-h") {
+            std::printf(
+                "usage: eve_sweep [--systems LIST] [--pf LIST]\n"
+                "  [--llc-mshrs LIST] [--l2-mshrs LIST] [--dtus LIST]\n"
+                "  [--prefetch LIST] [--workloads LIST] [--threads N]\n"
+                "  [--small] [--keep-going|--abort-on-failure]\n"
+                "  [--json PATH] [--csv PATH] [--quiet]\n");
+            return 0;
+        } else {
+            fatal("unknown flag '%s' (try --help)", flag.c_str());
+        }
+    }
+
+    exp::SweepSpec spec;
+    for (const auto& name : systems) {
+        SystemConfig cfg;
+        cfg.kind = parseKind(name);
+        spec.system(cfg);
+    }
+    if (!pfs.empty())
+        spec.axis<unsigned>("pf", pfs, [](SystemConfig& c, unsigned v) {
+            c.eve_pf = v;
+        });
+    if (!llc_mshrs.empty())
+        spec.axis<unsigned>("llc_mshrs", llc_mshrs,
+                            [](SystemConfig& c, unsigned v) {
+                                c.llc_mshrs = v;
+                            });
+    if (!l2_mshrs.empty())
+        spec.axis<unsigned>("l2_mshrs", l2_mshrs,
+                            [](SystemConfig& c, unsigned v) {
+                                c.l2_mshrs = v;
+                            });
+    if (!dtus.empty())
+        spec.axis<unsigned>("dtus", dtus,
+                            [](SystemConfig& c, unsigned v) {
+                                c.dtus = v;
+                            });
+    if (!prefetch.empty())
+        spec.axis<unsigned>("prefetch", prefetch,
+                            [](SystemConfig& c, unsigned v) {
+                                c.llc_prefetch_lines = v;
+                            });
+    spec.workloads(workloads, small);
+
+    if (!quiet) {
+        opts.progress = [](const exp::JobResult& r, std::size_t done,
+                           std::size_t total) {
+            std::fprintf(stderr, "[%zu/%zu] %-40s %s (%.2fs)\n", done,
+                         total, r.label.c_str(),
+                         exp::jobStatusName(r.status),
+                         r.wall_seconds);
+        };
+    }
+
+    const exp::Runner runner(opts);
+    const auto jobs = spec.jobs();
+    if (!quiet)
+        std::fprintf(stderr, "%zu jobs on %u threads\n", jobs.size(),
+                     runner.effectiveThreads(jobs.size()));
+    const auto results = runner.run(jobs);
+
+    TextTable table({"job", "status", "cycles", "sim s", "wall s"});
+    for (const auto& r : results) {
+        table.addRow({r.label, exp::jobStatusName(r.status),
+                      TextTable::num(r.result.cycles, 0),
+                      TextTable::num(r.result.seconds, 6),
+                      TextTable::num(r.wall_seconds, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    if (!json_path.empty())
+        exp::writeJsonLines(results, json_path);
+    if (!csv_path.empty())
+        exp::writeCsv(results, csv_path);
+
+    const std::size_t failed =
+        exp::countStatus(results, exp::JobStatus::Failed) +
+        exp::countStatus(results, exp::JobStatus::Mismatch) +
+        exp::countStatus(results, exp::JobStatus::Skipped);
+    return failed ? 1 : 0;
+}
