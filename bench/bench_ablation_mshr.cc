@@ -40,7 +40,8 @@ main()
                         })
         .workloads(wnames, small);
 
-    const auto results = bench::makeRunner().run(spec);
+    const auto cache = bench::envCache();
+    const auto results = bench::makeRunner(cache.get()).run(spec);
     bench::requireAllOk(results);
 
     // jobs() order: MSHR axis outermost, workloads innermost.

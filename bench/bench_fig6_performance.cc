@@ -39,7 +39,8 @@ main()
 
     const exp::SweepSpec spec = bench::fig6Sweep(small);
     const auto jobs = spec.jobs();
-    const auto results = bench::makeRunner().run(jobs);
+    const auto cache = bench::envCache();
+    const auto results = bench::makeRunner(cache.get()).run(jobs);
     bench::requireAllOk(results);
 
     // jobs() order: systems outermost, workloads innermost.

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/log.hh"
@@ -77,12 +79,32 @@ fig6Sweep(bool small)
     return spec;
 }
 
+/**
+ * Optional result cache from EVE_EXP_CACHE_DIR (nullptr when unset).
+ * Benches that run through the exp::Runner opt in by passing it to
+ * makeRunner(); rerunning a harness then re-simulates only grid
+ * points whose content key changed.
+ */
+inline std::unique_ptr<exp::ResultCache>
+envCache()
+{
+    const std::string dir = exp::envCacheDir();
+    if (dir.empty())
+        return nullptr;
+    auto cache = std::make_unique<exp::ResultCache>(dir);
+    const std::size_t loaded = cache->load();
+    std::fprintf(stderr, "cache: %zu entries in %s\n", loaded,
+                 cache->filePath().c_str());
+    return cache;
+}
+
 /** Standard bench runner: env-tunable threads, abort-free sweeps. */
 inline exp::Runner
-makeRunner()
+makeRunner(exp::ResultCache* cache = nullptr)
 {
     exp::RunnerOptions opts;
     opts.threads = exp::envThreads();
+    opts.cache = cache;
     return exp::Runner(opts);
 }
 
@@ -91,7 +113,8 @@ inline void
 requireAllOk(const std::vector<exp::JobResult>& results)
 {
     for (const auto& r : results) {
-        if (r.status != exp::JobStatus::Ok)
+        if (r.status != exp::JobStatus::Ok &&
+            r.status != exp::JobStatus::Cached)
             fatal("job '%s' %s%s%s", r.label.c_str(),
                   exp::jobStatusName(r.status),
                   r.error.empty() ? "" : ": ",

@@ -8,6 +8,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <string_view>
 
 #include "common/log.hh"
 
@@ -57,6 +58,23 @@ constexpr std::uint64_t
 divCeil(std::uint64_t a, std::uint64_t b)
 {
     return (a + b - 1) / b;
+}
+
+/**
+ * 64-bit FNV-1a over a byte string. Stable across platforms and
+ * processes — used for durable content keys (config fingerprints,
+ * result-cache keys), where std::hash's per-process seeding would
+ * break resumability.
+ */
+constexpr std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
 }
 
 } // namespace eve

@@ -1,6 +1,7 @@
 #include "driver/system.hh"
 
 #include "analytic/circuits.hh"
+#include "common/bits.hh"
 #include "common/log.hh"
 #include "cpu/io_core.hh"
 #include "isa/program.hh"
@@ -23,6 +24,41 @@ systemName(const SystemConfig& config)
         return "O3+EVE-" + std::to_string(config.eve_pf);
     }
     return "?";
+}
+
+const char*
+systemKindName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::IO: return "IO";
+      case SystemKind::O3: return "O3";
+      case SystemKind::O3IV: return "O3IV";
+      case SystemKind::O3DV: return "O3DV";
+      case SystemKind::O3EVE: return "O3EVE";
+    }
+    return "?";
+}
+
+std::string
+configCanonical(const SystemConfig& config)
+{
+    std::string out;
+    out += "kind=";
+    out += systemKindName(config.kind);
+    out += ";eve_pf=" + std::to_string(config.eve_pf);
+    out += ";llc_mshrs=" + std::to_string(config.llc_mshrs);
+    out += ";l2_mshrs=" + std::to_string(config.l2_mshrs);
+    out += ";llc_prefetch_lines=" +
+           std::to_string(config.llc_prefetch_lines);
+    out += ";dtus=" + std::to_string(config.dtus);
+    out += ";spawn_ready=" + std::to_string(config.spawn_ready);
+    return out;
+}
+
+std::uint64_t
+configFingerprint(const SystemConfig& config)
+{
+    return fnv1a64(configCanonical(config));
 }
 
 HierarchyParams

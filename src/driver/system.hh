@@ -8,6 +8,7 @@
 #ifndef EVE_DRIVER_SYSTEM_HH
 #define EVE_DRIVER_SYSTEM_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -44,6 +45,21 @@ struct SystemConfig
 
 /** Human-readable system name ("O3+EVE-8"). */
 std::string systemName(const SystemConfig& config);
+
+/** Symbolic kind name ("O3EVE"); stable even if systemName changes. */
+const char* systemKindName(SystemKind kind);
+
+/**
+ * Canonical serialization of *every* SystemConfig field, in
+ * declaration order ("kind=O3EVE;eve_pf=8;..."). This is the
+ * content-addressing identity of a configuration: the result cache
+ * hashes it into job keys, so adding a field to SystemConfig
+ * automatically invalidates all previously cached results.
+ */
+std::string configCanonical(const SystemConfig& config);
+
+/** 64-bit FNV-1a fingerprint of configCanonical(). */
+std::uint64_t configFingerprint(const SystemConfig& config);
 
 /** Result of one (system, workload) simulation. */
 struct RunResult

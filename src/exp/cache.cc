@@ -1,0 +1,493 @@
+#include "exp/cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "driver/system.hh"
+#include "exp/sink.hh"
+
+namespace eve::exp
+{
+
+std::string
+jobKeyMaterial(const Job& job, const std::string& salt)
+{
+    return configCanonical(job.config) + "|workload=" + job.workload +
+           "|scale=" + job.scale + "|salt=" + salt;
+}
+
+std::string
+jobKey(const Job& job, const std::string& salt)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(jobKeyMaterial(job, salt))));
+    return buf;
+}
+
+namespace
+{
+
+/**
+ * Minimal JSON value/parser pair, sized for resultToJson records.
+ * Object members keep insertion order so axes survive round trips.
+ */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Object, Array };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> elements;
+
+    const JsonValue*
+    find(const std::string& key) const
+    {
+        for (const auto& [k, v] : members) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    /** @p text must outlive the parser (strtod needs the NUL). */
+    explicit JsonParser(const std::string& text)
+        : p(text.c_str()), end(text.c_str() + text.size())
+    {
+    }
+
+    bool
+    parse(JsonValue& out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return p == end;
+    }
+
+  private:
+    const char* p;
+    const char* end;
+
+    void
+    skipWs()
+    {
+        while (p != end &&
+               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char* s, std::size_t n)
+    {
+        if (std::size_t(end - p) < n)
+            return false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (p[i] != s[i])
+                return false;
+        }
+        p += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        if (p == end)
+            return false;
+        switch (*p) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.text);
+          case 't':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.type = JsonValue::Type::Null;
+            return literal("null", 4);
+          default:
+            out.type = JsonValue::Type::Number;
+            return parseNumber(out.number);
+        }
+    }
+
+    bool
+    parseNumber(double& out)
+    {
+        char* num_end = nullptr;
+        out = std::strtod(p, &num_end);
+        if (num_end == p || num_end > end)
+            return false;
+        p = num_end;
+        return true;
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        if (p == end || *p != '"')
+            return false;
+        ++p;
+        out.clear();
+        while (p != end && *p != '"') {
+            if (*p != '\\') {
+                out += *p++;
+                continue;
+            }
+            if (++p == end)
+                return false;
+            switch (*p) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (end - p < 5)
+                    return false;
+                unsigned code = 0;
+                for (int i = 1; i <= 4; ++i) {
+                    const char c = p[i];
+                    code <<= 4;
+                    if (c >= '0' && c <= '9')
+                        code |= unsigned(c - '0');
+                    else if (c >= 'a' && c <= 'f')
+                        code |= unsigned(c - 'a' + 10);
+                    else if (c >= 'A' && c <= 'F')
+                        code |= unsigned(c - 'A' + 10);
+                    else
+                        return false;
+                }
+                // jsonEscape only emits \u00xx control characters;
+                // encode anything else as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xc0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3f));
+                } else {
+                    out += char(0xe0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3f));
+                    out += char(0x80 | (code & 0x3f));
+                }
+                p += 4;
+                break;
+              }
+              default: return false;
+            }
+            ++p;
+        }
+        if (p == end)
+            return false;
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue& out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++p; // '{'
+        skipWs();
+        if (p != end && *p == '}') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (p == end || *p != ':')
+                return false;
+            ++p;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (p == end)
+                return false;
+            if (*p == ',') {
+                ++p;
+                continue;
+            }
+            if (*p == '}') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseArray(JsonValue& out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++p; // '['
+        skipWs();
+        if (p != end && *p == ']') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.elements.push_back(std::move(value));
+            skipWs();
+            if (p == end)
+                return false;
+            if (*p == ',') {
+                ++p;
+                continue;
+            }
+            if (*p == ']') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+bool
+statusFromName(const std::string& name, JobStatus& out)
+{
+    if (name == "ok") out = JobStatus::Ok;
+    else if (name == "mismatch") out = JobStatus::Mismatch;
+    else if (name == "failed") out = JobStatus::Failed;
+    else if (name == "skipped") out = JobStatus::Skipped;
+    else if (name == "cached") out = JobStatus::Cached;
+    else return false;
+    return true;
+}
+
+double
+numberField(const JsonValue& obj, const char* key, double fallback = 0)
+{
+    const JsonValue* v = obj.find(key);
+    return v && v->type == JsonValue::Type::Number ? v->number
+                                                   : fallback;
+}
+
+} // namespace
+
+bool
+parseResultJson(const std::string& json, JobResult& out)
+{
+    JsonValue root;
+    JsonParser parser(json);
+    if (!parser.parse(root) || root.type != JsonValue::Type::Object)
+        return false;
+    const JsonValue* status = root.find("status");
+    if (!status || status->type != JsonValue::Type::String)
+        return false;
+
+    JobResult r;
+    if (!statusFromName(status->text, r.status))
+        return false;
+    r.index = std::size_t(numberField(root, "index"));
+    if (const JsonValue* v = root.find("label");
+        v && v->type == JsonValue::Type::String)
+        r.label = v->text;
+    if (const JsonValue* v = root.find("system");
+        v && v->type == JsonValue::Type::String)
+        r.result.system = v->text;
+    if (const JsonValue* v = root.find("workload");
+        v && v->type == JsonValue::Type::String) {
+        r.workload = v->text;
+        r.result.workload = v->text;
+    }
+    if (const JsonValue* v = root.find("axes");
+        v && v->type == JsonValue::Type::Object) {
+        for (const auto& [name, value] : v->members) {
+            if (value.type != JsonValue::Type::String)
+                return false;
+            r.axes.emplace_back(name, value.text);
+        }
+    }
+    if (const JsonValue* v = root.find("error");
+        v && v->type == JsonValue::Type::String)
+        r.error = v->text;
+    r.wall_seconds = numberField(root, "wall_s");
+
+    RunResult& res = r.result;
+    res.cycles = numberField(root, "cycles");
+    res.seconds = numberField(root, "seconds");
+    res.total_ticks = numberField(root, "total_ticks");
+    res.instrs = std::uint64_t(numberField(root, "instrs"));
+    res.mismatches = std::uint64_t(numberField(root, "mismatches"));
+    res.vecInstrs = std::uint64_t(numberField(root, "vec_instrs"));
+    res.vecElemOps =
+        std::uint64_t(numberField(root, "vec_elem_ops"));
+    if (const JsonValue* v = root.find("stats");
+        v && v->type == JsonValue::Type::Object) {
+        for (const auto& [name, value] : v->members) {
+            if (value.type != JsonValue::Type::Number)
+                return false;
+            res.stats[name] = value.number;
+        }
+    }
+    if (const JsonValue* v = root.find("breakdown");
+        v && v->type == JsonValue::Type::Object) {
+        res.has_breakdown = true;
+        EveBreakdown& b = res.breakdown;
+        b.busy = numberField(*v, "busy");
+        b.vru_stall = numberField(*v, "vru_stall");
+        b.ld_mem_stall = numberField(*v, "ld_mem_stall");
+        b.st_mem_stall = numberField(*v, "st_mem_stall");
+        b.ld_dt_stall = numberField(*v, "ld_dt_stall");
+        b.st_dt_stall = numberField(*v, "st_dt_stall");
+        b.vmu_stall = numberField(*v, "vmu_stall");
+        b.empty_stall = numberField(*v, "empty_stall");
+        b.dep_stall = numberField(*v, "dep_stall");
+        res.vmu_cache_stall_ticks =
+            numberField(root, "vmu_cache_stall_ticks");
+    }
+    out = std::move(r);
+    return true;
+}
+
+ResultCache::ResultCache(std::string dir_path, std::string salt_tag)
+    : dir(std::move(dir_path)), salt(std::move(salt_tag))
+{
+    if (dir.empty())
+        fatal("result cache: empty directory path");
+    while (dir.size() > 1 && dir.back() == '/')
+        dir.pop_back();
+}
+
+std::string
+ResultCache::filePath() const
+{
+    return dir + "/cache.jsonl";
+}
+
+std::size_t
+ResultCache::load()
+{
+    std::ifstream in(filePath());
+    if (!in)
+        return 0; // no artifact yet: an empty cache
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        // {"key":"<16 hex>","record":{...}}
+        static const std::string kKeyPrefix = "{\"key\":\"";
+        static const std::string kRecordPrefix = "\",\"record\":";
+        bool ok = line.rfind(kKeyPrefix, 0) == 0 && line.back() == '}';
+        std::string key, record;
+        if (ok) {
+            const std::size_t key_end =
+                line.find('"', kKeyPrefix.size());
+            ok = key_end != std::string::npos &&
+                 line.compare(key_end, kRecordPrefix.size(),
+                              kRecordPrefix) == 0;
+            if (ok) {
+                key = line.substr(kKeyPrefix.size(),
+                                  key_end - kKeyPrefix.size());
+                const std::size_t rec_begin =
+                    key_end + kRecordPrefix.size();
+                record = line.substr(rec_begin,
+                                     line.size() - rec_begin - 1);
+                JobResult parsed;
+                ok = key.size() == 16 &&
+                     parseResultJson(record, parsed) &&
+                     parsed.status == JobStatus::Ok;
+            }
+        }
+        if (!ok) {
+            warn("result cache %s:%zu: skipping unparseable entry",
+                 filePath().c_str(), line_no);
+            continue;
+        }
+        entries[key] = std::move(record); // later entries win
+    }
+    return entries.size();
+}
+
+bool
+ResultCache::lookup(const Job& job, JobResult& out) const
+{
+    out.index = job.index;
+    out.label = job.label;
+    out.workload = job.workload;
+    out.config = job.config;
+    out.axes = job.axes;
+
+    const auto it = entries.find(jobKey(job, salt));
+    if (it == entries.end())
+        return false;
+    JobResult restored;
+    if (!parseResultJson(it->second, restored) ||
+        restored.status != JobStatus::Ok)
+        return false; // treat a corrupt record as a miss
+    // Payload from the record, identity from the live job (an edited
+    // sweep may have shifted indices or renamed axis labels).
+    out.status = JobStatus::Cached;
+    out.error.clear();
+    out.wall_seconds = restored.wall_seconds;
+    out.result = std::move(restored.result);
+    return true;
+}
+
+void
+ResultCache::store(const Job& job, const JobResult& r)
+{
+    if (!eligible(r))
+        return;
+    const std::string key = jobKey(job, salt);
+    if (entries.count(key))
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("result cache: cannot create '%s': %s", dir.c_str(),
+              ec.message().c_str());
+    std::ofstream out(filePath(), std::ios::app);
+    if (!out)
+        fatal("result cache: cannot open '%s' for append",
+              filePath().c_str());
+    std::string record = resultToJson(r, /*include_host_time=*/true);
+    out << "{\"key\":\"" << key << "\",\"record\":" << record
+        << "}\n";
+    out.flush();
+    if (!out)
+        fatal("result cache: write to '%s' failed",
+              filePath().c_str());
+    entries[key] = std::move(record);
+    ++stored_count;
+}
+
+} // namespace eve::exp

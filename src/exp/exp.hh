@@ -4,8 +4,9 @@
  * environment conventions shared by the bench harnesses and the
  * eve_sweep CLI:
  *
- *   EVE_EXP_THREADS  worker count (default: hardware concurrency)
- *   EVE_EXP_OUT_DIR  directory for JSONL/CSV artifacts (default ".")
+ *   EVE_EXP_THREADS    worker count (default: hardware concurrency)
+ *   EVE_EXP_OUT_DIR    directory for JSONL/CSV artifacts (default ".")
+ *   EVE_EXP_CACHE_DIR  result-cache directory (unset = caching off)
  */
 
 #ifndef EVE_EXP_EXP_HH
@@ -14,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "exp/cache.hh"
 #include "exp/runner.hh"
 #include "exp/sink.hh"
 #include "exp/sweep.hh"
@@ -30,6 +32,14 @@ envThreads()
         return 0;
     const long n = std::strtol(env, nullptr, 10);
     return n > 0 ? static_cast<unsigned>(n) : 0;
+}
+
+/** Result-cache directory from EVE_EXP_CACHE_DIR ("" = off). */
+inline std::string
+envCacheDir()
+{
+    const char* env = std::getenv("EVE_EXP_CACHE_DIR");
+    return (env && env[0]) ? env : "";
 }
 
 /** "<EVE_EXP_OUT_DIR>/<name>" ("./<name>" by default). */

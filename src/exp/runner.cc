@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "exp/cache.hh"
+
 namespace eve::exp
 {
 
@@ -18,6 +20,7 @@ jobStatusName(JobStatus status)
       case JobStatus::Mismatch: return "mismatch";
       case JobStatus::Failed: return "failed";
       case JobStatus::Skipped: return "skipped";
+      case JobStatus::Cached: return "cached";
     }
     return "unknown";
 }
@@ -95,43 +98,70 @@ Runner::run(const std::vector<Job>& jobs) const
     if (jobs.empty())
         return results;
 
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::atomic<bool> stop{false};
+    // Progress state. The completion counter is incremented under the
+    // same mutex that serializes the callback: bumping it outside the
+    // lock lets two workers swap between increment and callback, so
+    // observers would see done-counts out of order.
     std::mutex progress_mutex;
-
-    auto worker = [&]() {
-        while (true) {
-            if (stop.load(std::memory_order_acquire))
-                return;
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
-                return;
-            executeJob(jobs[i], results[i]);
-            if (results[i].status == JobStatus::Failed &&
-                opts.on_failure == FailurePolicy::Abort) {
-                stop.store(true, std::memory_order_release);
-            }
-            const std::size_t n_done =
-                done.fetch_add(1, std::memory_order_acq_rel) + 1;
-            if (opts.progress) {
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                opts.progress(results[i], n_done, jobs.size());
-            }
-        }
+    std::size_t done = 0;  // guarded by progress_mutex
+    auto report = [&](const JobResult& r) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        const std::size_t n_done = ++done;
+        if (opts.progress)
+            opts.progress(r, n_done, jobs.size());
     };
 
-    const unsigned n_threads = effectiveThreads(jobs.size());
-    if (n_threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_threads);
-        for (unsigned t = 0; t < n_threads; ++t)
-            pool.emplace_back(worker);
-        for (auto& t : pool)
-            t.join();
+    // Cache pass: satisfy every job whose content key has a stored
+    // result, and execute only the remainder.
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (opts.cache && opts.cache->lookup(jobs[i], results[i]))
+            report(results[i]);
+        else
+            pending.push_back(i);
+    }
+
+    if (!pending.empty()) {
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> stop{false};
+
+        auto worker = [&]() {
+            while (true) {
+                if (stop.load(std::memory_order_acquire))
+                    return;
+                const std::size_t p =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (p >= pending.size())
+                    return;
+                const std::size_t i = pending[p];
+                executeJob(jobs[i], results[i]);
+                if (results[i].status == JobStatus::Failed &&
+                    opts.on_failure == FailurePolicy::Abort) {
+                    stop.store(true, std::memory_order_release);
+                }
+                report(results[i]);
+            }
+        };
+
+        const unsigned n_threads = effectiveThreads(pending.size());
+        if (n_threads <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(n_threads);
+            for (unsigned t = 0; t < n_threads; ++t)
+                pool.emplace_back(worker);
+            for (auto& t : pool)
+                t.join();
+        }
+    }
+
+    // Persist fresh, cache-eligible results in index order so the
+    // cache file's contents do not depend on completion order.
+    if (opts.cache) {
+        for (const std::size_t i : pending)
+            opts.cache->store(jobs[i], results[i]);
     }
     return results;
 }

@@ -39,9 +39,13 @@ enum class JobStatus
     Mismatch, ///< simulation ran but verify() found mismatches
     Failed,   ///< the job threw; RunResult is not meaningful
     Skipped,  ///< not executed (Abort policy stopped the sweep)
+    Cached,   ///< restored from a ResultCache; payload was an Ok run
 };
 
-/** Printable status name ("ok", "mismatch", "failed", "skipped"). */
+/**
+ * Printable status name ("ok", "mismatch", "failed", "skipped",
+ * "cached").
+ */
 const char* jobStatusName(JobStatus status);
 
 /** One job together with its outcome. */
@@ -70,12 +74,21 @@ enum class FailurePolicy
 using ProgressFn = std::function<void(
     const JobResult& r, std::size_t done, std::size_t total)>;
 
+class ResultCache;
+
 struct RunnerOptions
 {
     /** Worker count; 0 means std::thread::hardware_concurrency(). */
     unsigned threads = 0;
     FailurePolicy on_failure = FailurePolicy::Record;
     ProgressFn progress;
+
+    /**
+     * Optional content-hash result cache (not owned). Jobs whose key
+     * is present are marked Cached and not executed; fresh Ok results
+     * are stored back after the run. See exp/cache.hh.
+     */
+    ResultCache* cache = nullptr;
 };
 
 /** Executes sweep jobs on a thread pool. */

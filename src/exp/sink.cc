@@ -1,6 +1,7 @@
 #include "exp/sink.hh"
 
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -25,12 +26,19 @@ quoted(const std::string& s)
 std::string
 resultToJson(const JobResult& r, bool include_host_time)
 {
+    // A Cached result *is* the earlier Ok run, restored verbatim;
+    // serializing it as "ok" is what makes a fully-cached rerun emit
+    // JSONL byte-identical to the cold run that populated the cache.
+    const bool cached = r.status == JobStatus::Cached;
     std::ostringstream os;
     os << "{\"index\":" << r.index
        << ",\"label\":" << quoted(r.label)
-       << ",\"system\":" << quoted(systemName(r.config))
+       << ",\"system\":"
+       << quoted(r.result.system.empty() ? systemName(r.config)
+                                         : r.result.system)
        << ",\"workload\":" << quoted(r.workload)
-       << ",\"status\":" << quoted(jobStatusName(r.status));
+       << ",\"status\":"
+       << quoted(cached ? "ok" : jobStatusName(r.status));
     if (!r.axes.empty()) {
         os << ",\"axes\":{";
         bool first = true;
@@ -46,10 +54,12 @@ resultToJson(const JobResult& r, bool include_host_time)
         os << ",\"error\":" << quoted(r.error);
     if (include_host_time)
         os << ",\"wall_s\":" << jsonNumber(r.wall_seconds);
-    if (r.status == JobStatus::Ok || r.status == JobStatus::Mismatch) {
+    if (r.status == JobStatus::Ok || r.status == JobStatus::Mismatch ||
+        cached) {
         const RunResult& res = r.result;
         os << ",\"cycles\":" << jsonNumber(res.cycles)
            << ",\"seconds\":" << jsonNumber(res.seconds)
+           << ",\"total_ticks\":" << jsonNumber(res.total_ticks)
            << ",\"instrs\":" << res.instrs
            << ",\"mismatches\":" << res.mismatches
            << ",\"vec_instrs\":" << res.vecInstrs
@@ -67,7 +77,8 @@ resultToJson(const JobResult& r, bool include_host_time)
                << ",\"vmu_stall\":" << jsonNumber(b.vmu_stall)
                << ",\"empty_stall\":" << jsonNumber(b.empty_stall)
                << ",\"dep_stall\":" << jsonNumber(b.dep_stall)
-               << "}";
+               << "},\"vmu_cache_stall_ticks\":"
+               << jsonNumber(res.vmu_cache_stall_ticks);
         }
     }
     os << "}";
@@ -121,8 +132,8 @@ CsvSink::render() const
     }
 
     std::ostringstream os;
-    os << "index,label,system,workload,status,wall_s,cycles,seconds,"
-          "instrs,mismatches";
+    os << "index,label,system,workload,status,error,wall_s,cycles,"
+          "seconds,instrs,mismatches";
     for (const auto& name : axis_names)
         os << ',' << csvField(name);
     for (const auto& key : stat_keys)
@@ -133,18 +144,18 @@ CsvSink::render() const
         os << r.index << ',' << csvField(r.label) << ','
            << csvField(systemName(r.config)) << ','
            << csvField(r.workload) << ',' << jobStatusName(r.status)
-           << ',' << jsonNumber(r.wall_seconds) << ','
+           << ',' << csvField(r.error) << ','
+           << jsonNumber(r.wall_seconds) << ','
            << jsonNumber(r.result.cycles) << ','
            << jsonNumber(r.result.seconds) << ',' << r.result.instrs
            << ',' << r.result.mismatches;
+        const std::map<std::string, std::string> axis_values(
+            r.axes.begin(), r.axes.end());
         for (const auto& name : axis_names) {
             os << ',';
-            for (const auto& [ax, value] : r.axes) {
-                if (ax == name) {
-                    os << csvField(value);
-                    break;
-                }
-            }
+            auto it = axis_values.find(name);
+            if (it != axis_values.end())
+                os << csvField(it->second);
         }
         for (const auto& key : stat_keys) {
             os << ',';

@@ -30,9 +30,10 @@ SweepSpec::axis(Axis ax)
 }
 
 SweepSpec&
-SweepSpec::workload(const std::string& name, WorkloadFactory make)
+SweepSpec::workload(const std::string& name, WorkloadFactory make,
+                    std::string scale)
 {
-    workload_list.push_back({name, std::move(make)});
+    workload_list.push_back({name, std::move(scale), std::move(make)});
     return *this;
 }
 
@@ -41,7 +42,8 @@ SweepSpec::workloads(const std::vector<std::string>& names, bool small)
 {
     for (const auto& name : names) {
         workload_list.push_back(
-            {name, [name, small]() { return makeWorkload(name, small); }});
+            {name, small ? "small" : "full",
+             [name, small]() { return makeWorkload(name, small); }});
     }
     return *this;
 }
@@ -139,6 +141,7 @@ SweepSpec::jobs() const
             job.label = label + "/" + w.name;
             job.config = cfg;
             job.workload = w.name;
+            job.scale = w.scale;
             job.make = w.make;
             job.axes = axes;
             out.push_back(std::move(job));

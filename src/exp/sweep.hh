@@ -63,6 +63,7 @@ struct Job
     std::string label;        ///< "system/axis=point/.../workload"
     SystemConfig config;      ///< fully overridden configuration
     std::string workload;     ///< workload name
+    std::string scale;        ///< input scale ("small"/"full"/custom)
     WorkloadFactory make;     ///< builds the job's workload
 
     /** (axis name, point label) in axis-declaration order. */
@@ -101,8 +102,13 @@ class SweepSpec
         return axis(std::move(ax));
     }
 
-    /** Append one named workload factory. */
-    SweepSpec& workload(const std::string& name, WorkloadFactory make);
+    /**
+     * Append one named workload factory. @p scale is the input-scale
+     * tag hashed into result-cache keys; factories with different
+     * input sizes must use distinct tags.
+     */
+    SweepSpec& workload(const std::string& name, WorkloadFactory make,
+                        std::string scale = "custom");
 
     /**
      * Append the named paper workloads via eve::makeWorkload.
@@ -131,6 +137,7 @@ class SweepSpec
     struct NamedWorkload
     {
         std::string name;
+        std::string scale;
         WorkloadFactory make;
     };
 

@@ -112,10 +112,17 @@ Cache::access(Addr addr, bool is_write, Tick t)
     // channel and stall earlier arrivals behind it.
     const unsigned victim = victimWay(set);
     Line& entry = tagArray[set][victim];
-    if (entry.valid && entry.dirty) {
+    if (entry.valid) {
         const Addr victim_line = entry.tag * sets + set;
-        next->access(victim_line * cacheParams.line_bytes, true, grant);
-        statGroup.add("writebacks", 1);
+        if (entry.dirty) {
+            next->access(victim_line * cacheParams.line_bytes, true,
+                         grant);
+            statGroup.add("writebacks", 1);
+        }
+        // The victim's in-flight fill state dies with the line: a
+        // stale entry would merge a later re-fetch of the same line
+        // against the pre-eviction fill tick.
+        outstanding.erase(victim_line);
     }
 
     entry.valid = true;
@@ -156,10 +163,13 @@ Cache::prefetchLine(Addr line, Tick t)
                                    false, t) + clock.period();
     const unsigned victim = victimWay(set);
     Line& entry = tagArray[set][victim];
-    if (entry.valid && entry.dirty) {
+    if (entry.valid) {
         const Addr victim_line = entry.tag * sets + set;
-        next->access(victim_line * cacheParams.line_bytes, true, t);
-        statGroup.add("writebacks", 1);
+        if (entry.dirty) {
+            next->access(victim_line * cacheParams.line_bytes, true, t);
+            statGroup.add("writebacks", 1);
+        }
+        outstanding.erase(victim_line);
     }
     entry.valid = true;
     entry.dirty = false;
@@ -194,13 +204,17 @@ Cache::invalidateWays(unsigned way_begin, unsigned way_end)
         panic("cache %s: bad way range [%u, %u)",
               cacheParams.name.c_str(), way_begin, way_end);
     InvalidateResult result;
-    for (auto& set : tagArray) {
+    for (unsigned s = 0; s < sets; ++s) {
         for (unsigned w = way_begin; w < way_end; ++w) {
-            Line& line = set[w];
+            Line& line = tagArray[s][w];
             if (line.valid) {
                 ++result.valid_lines;
                 if (line.dirty)
                     ++result.dirty_lines;
+                // Drop in-flight fill state with the line, or a later
+                // stream prefetch of the same line is suppressed and
+                // the hit path merges against a pre-carve-out fill.
+                outstanding.erase(line.tag * sets + s);
             }
             line = Line{};
         }

@@ -214,6 +214,62 @@ TEST(Cache, PrefetchHitStillWaitsForInFlightFill)
     EXPECT_LE(next_done, miss_done + 10000);
 }
 
+TEST(Cache, EvictionClearsInFlightFillState)
+{
+    Dram dram(fastDram());
+    Cache cache(tinyCache(1, 1), &dram);  // direct mapped, 16 sets
+    const unsigned set_stride = 16 * 64;
+    // Line A misses at t=0; its fill completes ~50k ticks out.
+    cache.access(0, false, 0);
+    // Line B maps to the same set and evicts A while A's fill is
+    // still in flight. The eviction must drop A's outstanding entry.
+    cache.access(set_stride, false, 100);
+    // Warm A back in (functional warm-up) and touch it: the access
+    // must complete at hit latency, not merge against the stale
+    // pre-eviction fill tick.
+    cache.touch(0);
+    const Tick hit = cache.access(0, false, 200);
+    EXPECT_LE(hit, Tick{200 + 10'000});
+    EXPECT_EQ(cache.stats().get("mshr_merges"), 0.0);
+}
+
+TEST(Cache, InvalidateWaysClearsInFlightFillState)
+{
+    Dram dram(fastDram());
+    CacheParams p = tinyCache(1, 4);  // 4 sets x 4 ways
+    p.prefetch_lines = 2;
+    Cache cache(p, &dram);
+    // A demand miss on line 0 also streams lines 1 and 2; all three
+    // fills are in flight.
+    cache.access(0, false, 0);
+    EXPECT_EQ(cache.stats().get("prefetches"), 2.0);
+    // EVE spawn carve-out: every way is invalidated through the
+    // way-range API (invalidateAll is not what reconfiguration uses).
+    cache.invalidateWays(0, 4);
+    // The same demand miss much later must re-prefetch lines 1-2
+    // rather than being suppressed by stale outstanding entries.
+    cache.access(0, false, 10'000'000);
+    EXPECT_EQ(cache.stats().get("prefetches"), 4.0);
+    EXPECT_TRUE(cache.isCached(1 * 64));
+    EXPECT_TRUE(cache.isCached(2 * 64));
+}
+
+TEST(Cache, CarveOutHitDoesNotMergeStaleFill)
+{
+    Dram dram(fastDram());
+    Cache cache(tinyCache(1, 4), &dram);
+    // Line 0's fill is in flight when the ways are carved out.
+    cache.access(0, false, 0);
+    cache.invalidateWays(0, 4);
+    // After the engine is freed the line is warmed back in; a demand
+    // access must hit at hit latency, not wait for the pre-carve-out
+    // fill tick.
+    cache.touch(0);
+    const Tick hit = cache.access(0, false, 500);
+    EXPECT_LE(hit, Tick{500 + 10'000});
+    EXPECT_EQ(cache.stats().get("mshr_merges"), 0.0);
+}
+
 TEST(Cache, WritebackLeavesAtMissIssue)
 {
     // A dirty victim's writeback must not park a future reservation

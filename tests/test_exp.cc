@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -19,6 +21,27 @@ using namespace eve::exp;
 
 namespace
 {
+
+/** A fresh, empty scratch directory under the gtest temp dir. */
+std::string
+freshDir(const std::string& name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** A do-nothing workload (fast Runner jobs for scheduling tests). */
+class NopWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "nop"; }
+    std::string suite() const override { return "test"; }
+    void init() override {}
+    void emitScalar(InstrSink&) override {}
+    void emitVector(InstrSink&, std::uint32_t) override {}
+    std::uint64_t verify() const override { return 0; }
+};
 
 /** A workload whose init() always throws. */
 class ThrowingWorkload : public Workload
@@ -213,6 +236,32 @@ TEST(Runner, ProgressIsSerializedAndMonotonic)
         EXPECT_EQ(seen_done[i], i + 1);
 }
 
+TEST(Runner, ProgressStaysMonotonicUnderContention)
+{
+    // Many near-instant jobs on many threads: if the completion
+    // counter were bumped outside the progress lock, two workers
+    // could swap between increment and callback and a caller would
+    // observe e.g. 5 before 4.
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::IO;
+    spec.system(cfg);
+    for (int i = 0; i < 32; ++i) {
+        spec.workload("nop" + std::to_string(i),
+                      [] { return std::make_unique<NopWorkload>(); });
+    }
+    std::vector<std::size_t> seen_done;
+    RunnerOptions opts;
+    opts.threads = 8;
+    opts.progress = [&](const JobResult&, std::size_t done,
+                        std::size_t) { seen_done.push_back(done); };
+    const auto results = Runner(opts).run(spec);
+    EXPECT_EQ(countStatus(results, JobStatus::Ok), 32u);
+    ASSERT_EQ(seen_done.size(), 32u);
+    for (std::size_t i = 0; i < seen_done.size(); ++i)
+        ASSERT_EQ(seen_done[i], i + 1) << "non-monotonic progress";
+}
+
 TEST(Sink, JsonLineHasSchemaFields)
 {
     SweepSpec spec;
@@ -289,4 +338,301 @@ TEST(Sink, CsvUnionsStatColumns)
     EXPECT_NE(row_b.find("\"b,with comma\""), std::string::npos);
     // Row a has no llc.misses value: empty trailing field.
     EXPECT_NE(row_a.find(",5,"), std::string::npos);
+}
+
+TEST(Sink, CsvCarriesErrorColumn)
+{
+    JobResult ok;
+    ok.index = 0;
+    ok.label = "fine";
+    ok.workload = "w";
+    ok.status = JobStatus::Ok;
+    JobResult bad;
+    bad.index = 1;
+    bad.label = "broken";
+    bad.workload = "w";
+    bad.status = JobStatus::Failed;
+    bad.error = "spawn failed, tick 7";
+
+    CsvSink sink;
+    sink.write(ok);
+    sink.write(bad);
+    const std::string csv = sink.render();
+
+    std::istringstream is(csv);
+    std::string header, row_ok, row_bad;
+    std::getline(is, header);
+    std::getline(is, row_ok);
+    std::getline(is, row_bad);
+    // The error column sits right after status, so Failed/Mismatch
+    // rows keep their diagnosis in spreadsheet form.
+    EXPECT_NE(header.find("status,error,"), std::string::npos);
+    EXPECT_NE(row_bad.find("failed,\"spawn failed, tick 7\""),
+              std::string::npos);
+    EXPECT_NE(row_ok.find("ok,,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Content-hash result cache
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheKey, TracksContentNotLabels)
+{
+    const auto jobs = smallGrid().jobs();
+    ASSERT_EQ(jobs.size(), 4u);
+
+    // Same content, same key — independent of index/label.
+    Job relabelled = jobs[0];
+    relabelled.index = 99;
+    relabelled.label = "renamed/axis=point/vvadd";
+    relabelled.axes.clear();
+    EXPECT_EQ(jobKey(jobs[0]), jobKey(relabelled));
+
+    // Any config field, the workload, the scale, or the salt changes
+    // the key.
+    Job other = jobs[0];
+    other.config.llc_mshrs += 1;
+    EXPECT_NE(jobKey(jobs[0]), jobKey(other));
+    other = jobs[0];
+    other.workload = "mmult";
+    EXPECT_NE(jobKey(jobs[0]), jobKey(other));
+    other = jobs[0];
+    other.scale = "full";
+    EXPECT_NE(jobKey(jobs[0]), jobKey(other));
+    EXPECT_NE(jobKey(jobs[0], "eve-sim-v3"), jobKey(jobs[0]));
+
+    // Keys are 16 hex digits and distinct across the grid.
+    for (const auto& job : jobs) {
+        EXPECT_EQ(jobKey(job).size(), 16u);
+        EXPECT_EQ(jobKey(job).find_first_not_of("0123456789abcdef"),
+                  std::string::npos);
+    }
+    EXPECT_NE(jobKey(jobs[0]), jobKey(jobs[1]));
+    EXPECT_NE(jobKey(jobs[0]), jobKey(jobs[2]));
+}
+
+TEST(ResultCacheKey, ScaleComesFromSweepSpec)
+{
+    SweepSpec small_spec;
+    small_spec.workloads({"vvadd"}, /*small=*/true);
+    SweepSpec full_spec;
+    full_spec.workloads({"vvadd"}, /*small=*/false);
+    EXPECT_EQ(small_spec.jobs()[0].scale, "small");
+    EXPECT_EQ(full_spec.jobs()[0].scale, "full");
+}
+
+TEST(ResultCache, JsonRoundTripIsByteExact)
+{
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3EVE;
+    cfg.eve_pf = 8;
+    spec.system(cfg).workloads({"vvadd"}, true);
+    RunnerOptions opts;
+    opts.threads = 1;
+    const auto results = Runner(opts).run(spec);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_EQ(results[0].status, JobStatus::Ok);
+
+    const std::string json = resultToJson(results[0]);
+    JobResult parsed;
+    ASSERT_TRUE(parseResultJson(json, parsed));
+    EXPECT_EQ(parsed.status, JobStatus::Ok);
+    EXPECT_EQ(parsed.workload, "vvadd");
+    EXPECT_TRUE(parsed.result.has_breakdown);
+    EXPECT_EQ(resultToJson(parsed), json);
+    EXPECT_EQ(resultToJson(parsed, false),
+              resultToJson(results[0], false));
+}
+
+TEST(ResultCache, StoreLoadLookupRestoresByteIdentically)
+{
+    const std::string dir = freshDir("eve_cache_roundtrip");
+    const auto jobs = smallGrid().jobs();
+    RunnerOptions opts;
+    opts.threads = 2;
+    const auto results = Runner(opts).run(jobs);
+
+    {
+        ResultCache cache(dir);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            cache.store(jobs[i], results[i]);
+        EXPECT_EQ(cache.stores(), jobs.size());
+        // Duplicate stores are refused.
+        cache.store(jobs[0], results[0]);
+        EXPECT_EQ(cache.stores(), jobs.size());
+    }
+
+    ResultCache cache(dir);
+    EXPECT_EQ(cache.load(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        JobResult restored;
+        ASSERT_TRUE(cache.lookup(jobs[i], restored))
+            << jobs[i].label;
+        EXPECT_EQ(restored.status, JobStatus::Cached);
+        EXPECT_EQ(restored.index, jobs[i].index);
+        EXPECT_EQ(restored.label, jobs[i].label);
+        // Serialized bytes — including the original host wall time —
+        // are exactly the cold run's.
+        EXPECT_EQ(resultToJson(restored), resultToJson(results[i]));
+    }
+    // A job outside the stored grid misses.
+    Job edited = jobs[0];
+    edited.config.llc_mshrs = 999;
+    JobResult miss;
+    EXPECT_FALSE(cache.lookup(edited, miss));
+}
+
+TEST(ResultCache, ResumedRunExecutesNothingAndMatchesByteForByte)
+{
+    const std::string dir = freshDir("eve_cache_resume");
+    const auto spec = smallGrid();
+
+    ResultCache cold_cache(dir);
+    EXPECT_EQ(cold_cache.load(), 0u);
+    RunnerOptions cold_opts;
+    cold_opts.threads = 2;
+    cold_opts.cache = &cold_cache;
+    const auto cold = Runner(cold_opts).run(spec);
+    EXPECT_EQ(countStatus(cold, JobStatus::Ok), cold.size());
+    EXPECT_EQ(cold_cache.stores(), cold.size());
+
+    // Resume with a fresh cache object over the same directory, at a
+    // different thread count: zero executions, byte-identical JSONL.
+    ResultCache warm_cache(dir);
+    EXPECT_EQ(warm_cache.load(), cold.size());
+    RunnerOptions warm_opts;
+    warm_opts.threads = 4;
+    warm_opts.cache = &warm_cache;
+    const auto warm = Runner(warm_opts).run(spec);
+    ASSERT_EQ(warm.size(), cold.size());
+    EXPECT_EQ(countStatus(warm, JobStatus::Cached), warm.size());
+    EXPECT_EQ(warm_cache.stores(), 0u);
+    for (std::size_t i = 0; i < cold.size(); ++i)
+        EXPECT_EQ(resultToJson(warm[i]), resultToJson(cold[i]))
+            << cold[i].label;
+}
+
+TEST(ResultCache, EditedAxisRerunsOnlyAffectedJobs)
+{
+    const std::string dir = freshDir("eve_cache_edit");
+    auto makeSpec = [](std::vector<unsigned> mshrs) {
+        SweepSpec spec;
+        SystemConfig io;
+        io.kind = SystemKind::IO;
+        SystemConfig o3eve;
+        o3eve.kind = SystemKind::O3EVE;
+        o3eve.eve_pf = 8;
+        spec.system(io).system(o3eve);
+        spec.axis<unsigned>("llc_mshrs", mshrs,
+                            [](SystemConfig& c, unsigned m) {
+                                c.llc_mshrs = m;
+                            });
+        spec.workloads({"vvadd"}, /*small=*/true);
+        return spec;
+    };
+
+    ResultCache cache(dir);
+    cache.load();
+    RunnerOptions opts;
+    opts.threads = 2;
+    opts.cache = &cache;
+    Runner(opts).run(makeSpec({16, 32}));
+
+    // Swap one axis point: only the two jobs touching the new value
+    // simulate; the untouched half of the grid is served from cache.
+    ResultCache cache2(dir);
+    cache2.load();
+    RunnerOptions opts2;
+    opts2.threads = 2;
+    opts2.cache = &cache2;
+    const auto results = Runner(opts2).run(makeSpec({16, 48}));
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(countStatus(results, JobStatus::Cached), 2u);
+    EXPECT_EQ(countStatus(results, JobStatus::Ok), 2u);
+    EXPECT_EQ(cache2.stores(), 2u);
+    for (const auto& r : results) {
+        const bool new_point = r.config.llc_mshrs == 48;
+        EXPECT_EQ(r.status, new_point ? JobStatus::Ok
+                                      : JobStatus::Cached)
+            << r.label;
+    }
+}
+
+TEST(ResultCache, FailedJobsAreNeverCached)
+{
+    const std::string dir = freshDir("eve_cache_failed");
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::O3;
+    spec.system(cfg);
+    spec.workload("throwing",
+                  [] { return std::make_unique<ThrowingWorkload>(); });
+
+    ResultCache cache(dir);
+    cache.load();
+    RunnerOptions opts;
+    opts.threads = 1;
+    opts.cache = &cache;
+    const auto first = Runner(opts).run(spec);
+    EXPECT_EQ(first[0].status, JobStatus::Failed);
+    EXPECT_EQ(cache.stores(), 0u);
+
+    // The rerun executes again (no poisoned cache entry).
+    ResultCache cache2(dir);
+    EXPECT_EQ(cache2.load(), 0u);
+    RunnerOptions opts2 = opts;
+    opts2.cache = &cache2;
+    const auto second = Runner(opts2).run(spec);
+    EXPECT_EQ(second[0].status, JobStatus::Failed);
+}
+
+TEST(ResultCache, SaltBumpInvalidatesEverything)
+{
+    const std::string dir = freshDir("eve_cache_salt");
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::IO;
+    spec.system(cfg).workloads({"vvadd"}, true);
+    const auto jobs = spec.jobs();
+
+    ResultCache cache(dir);
+    cache.load();
+    RunnerOptions opts;
+    opts.threads = 1;
+    opts.cache = &cache;
+    Runner(opts).run(jobs);
+    EXPECT_EQ(cache.stores(), 1u);
+
+    // Same directory, bumped simulator salt: every key misses.
+    ResultCache bumped(dir, "eve-sim-v999");
+    EXPECT_EQ(bumped.load(), 1u);
+    JobResult restored;
+    EXPECT_FALSE(bumped.lookup(jobs[0], restored));
+}
+
+TEST(ResultCache, TruncatedEntriesAreSkippedNotFatal)
+{
+    const std::string dir = freshDir("eve_cache_corrupt");
+    SweepSpec spec;
+    SystemConfig cfg;
+    cfg.kind = SystemKind::IO;
+    spec.system(cfg).workloads({"vvadd"}, true);
+    const auto jobs = spec.jobs();
+
+    {
+        ResultCache cache(dir);
+        RunnerOptions opts;
+        opts.threads = 1;
+        opts.cache = &cache;
+        Runner(opts).run(jobs);
+        // Simulate a killed run: a half-written trailing line.
+        std::ofstream out(cache.filePath(), std::ios::app);
+        out << "{\"key\":\"0123456789abcdef\",\"record\":{\"ind";
+    }
+
+    ResultCache cache(dir);
+    EXPECT_EQ(cache.load(), 1u); // good entry survives
+    JobResult restored;
+    EXPECT_TRUE(cache.lookup(jobs[0], restored));
 }

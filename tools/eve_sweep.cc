@@ -20,11 +20,19 @@
  *   --small     use small smoke-test inputs
  *   --keep-going / --abort-on-failure  failure policy (default keep)
  *   --json PATH write JSON lines        --csv PATH write CSV
+ *   --cache-dir PATH  content-hash result cache: jobs whose key
+ *               (canonical config + workload + scale + simulator
+ *               salt) is already stored are not re-simulated, and
+ *               fresh Ok results are stored back — a repeated
+ *               invocation executes 0 jobs and emits byte-identical
+ *               JSONL. Defaults to $EVE_EXP_CACHE_DIR when set.
+ *   --no-cache  disable the result cache (overrides both)
  *   --quiet     suppress progress lines
  */
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -101,6 +109,8 @@ main(int argc, char** argv)
     std::vector<std::string> workloads = kAllWorkloads;
     std::vector<unsigned> pfs, llc_mshrs, l2_mshrs, dtus, prefetch;
     std::string json_path, csv_path;
+    std::string cache_dir = exp::envCacheDir();
+    bool no_cache = false;
     exp::RunnerOptions opts;
     opts.threads = exp::envThreads();
     bool small = false;
@@ -134,6 +144,10 @@ main(int argc, char** argv)
             json_path = need(i); ++i;
         } else if (flag == "--csv") {
             csv_path = need(i); ++i;
+        } else if (flag == "--cache-dir") {
+            cache_dir = need(i); ++i;
+        } else if (flag == "--no-cache") {
+            no_cache = true;
         } else if (flag == "--small") {
             small = true;
         } else if (flag == "--quiet") {
@@ -148,7 +162,8 @@ main(int argc, char** argv)
                 "  [--llc-mshrs LIST] [--l2-mshrs LIST] [--dtus LIST]\n"
                 "  [--prefetch LIST] [--workloads LIST] [--threads N]\n"
                 "  [--small] [--keep-going|--abort-on-failure]\n"
-                "  [--json PATH] [--csv PATH] [--quiet]\n");
+                "  [--json PATH] [--csv PATH]\n"
+                "  [--cache-dir PATH] [--no-cache] [--quiet]\n");
             return 0;
         } else {
             fatal("unknown flag '%s' (try --help)", flag.c_str());
@@ -197,6 +212,16 @@ main(int argc, char** argv)
         };
     }
 
+    std::unique_ptr<exp::ResultCache> cache;
+    if (!cache_dir.empty() && !no_cache) {
+        cache = std::make_unique<exp::ResultCache>(cache_dir);
+        const std::size_t loaded = cache->load();
+        if (!quiet)
+            std::fprintf(stderr, "cache: %zu entries in %s\n", loaded,
+                         cache->filePath().c_str());
+        opts.cache = cache.get();
+    }
+
     const exp::Runner runner(opts);
     const auto jobs = spec.jobs();
     if (!quiet)
@@ -217,6 +242,16 @@ main(int argc, char** argv)
         exp::writeJsonLines(results, json_path);
     if (!csv_path.empty())
         exp::writeCsv(results, csv_path);
+
+    if (cache && !quiet) {
+        std::fprintf(stderr,
+                     "cache: %zu hits, %zu executed, %zu stored\n",
+                     exp::countStatus(results, exp::JobStatus::Cached),
+                     results.size() -
+                         exp::countStatus(results,
+                                          exp::JobStatus::Cached),
+                     cache->stores());
+    }
 
     const std::size_t failed =
         exp::countStatus(results, exp::JobStatus::Failed) +
