@@ -38,10 +38,8 @@ main()
                 small ? "small smoke-test" : "full");
 
     const exp::SweepSpec spec = bench::fig6Sweep(small);
-    const auto jobs = spec.jobs();
-    const auto cache = bench::envCache();
-    const auto results = bench::makeRunner(cache.get()).run(jobs);
-    bench::requireAllOk(results);
+    const auto results =
+        bench::runSweep(spec, "fig6_performance.jsonl");
 
     // jobs() order: systems outermost, workloads innermost.
     const std::size_t n_workloads = spec.workloadCount();
@@ -84,6 +82,5 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("* geomean over {k-means, pathfinder, jacobi-2d, "
                 "backprop, sw} (the paper's subset)\n");
-    bench::writeArtifact(results, "fig6_performance.jsonl");
     return 0;
 }

@@ -4,6 +4,11 @@
  * workload, normalized to EVE-1's execution time — busy vs. the
  * stall categories (VRU, load/store memory, load/store transpose,
  * VMU structural, empty, dependency).
+ *
+ * The grid is a SweepSpec (EVE designs x paper workloads) executed
+ * through the shared runSweep() plumbing: thread-pool execution,
+ * optional EVE_EXP_CACHE_DIR result cache, and a JSONL artifact with
+ * the full per-job stats.
  */
 
 #include <cstdio>
@@ -11,7 +16,6 @@
 #include "bench_util.hh"
 #include "common/log.hh"
 #include "driver/table.hh"
-#include "workloads/workload.hh"
 
 using namespace eve;
 
@@ -24,34 +28,40 @@ main()
     std::printf("Figure 7: EVE execution breakdown, normalized to "
                 "EVE-1 execution time\n\n");
 
-    for (const auto* wname :
-         {"vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
-          "backprop", "sw"}) {
+    exp::SweepSpec spec;
+    spec.systems(bench::eveSystems());
+    spec.workloads(exp::paperWorkloads(), small);
+
+    const auto results = bench::runSweep(spec, "fig7_breakdown.jsonl");
+
+    // jobs() order: systems outermost, workloads innermost.
+    const std::size_t n_workloads = spec.workloadCount();
+    const std::size_t n_systems = bench::eveSystems().size();
+    auto at = [&](std::size_t sys, std::size_t wl) -> const RunResult& {
+        return results[sys * n_workloads + wl].result;
+    };
+
+    for (std::size_t wl = 0; wl < n_workloads; ++wl) {
+        const std::string& wname = results[wl].workload;
         TextTable table({"design", "total", "busy", "vru", "ld_mem",
                          "st_mem", "ld_dt", "st_dt", "vmu", "empty",
                          "dep"});
-        double eve1_ticks = 0.0;
-        for (const auto& cfg : bench::eveSystems()) {
-            auto w = makeWorkload(wname, small);
-            System sys(cfg);
-            const RunResult r = sys.run(*w);
-            if (r.mismatches)
-                fatal("%s failed functionally on %s", wname,
-                      r.system.c_str());
-            if (cfg.eve_pf == 1)
-                eve1_ticks = r.total_ticks;
+        const double eve1_ticks = at(0, wl).total_ticks; // EVE-1 first
+        for (std::size_t sys = 0; sys < n_systems; ++sys) {
+            const exp::JobResult& jr = results[sys * n_workloads + wl];
+            const RunResult& r = jr.result;
             const auto& b = r.breakdown;
             auto norm = [&](double v) {
                 return TextTable::num(v / eve1_ticks, 3);
             };
-            table.addRow({"EVE-" + std::to_string(cfg.eve_pf),
+            table.addRow({"EVE-" + std::to_string(jr.config.eve_pf),
                           norm(r.total_ticks), norm(b.busy),
                           norm(b.vru_stall), norm(b.ld_mem_stall),
                           norm(b.st_mem_stall), norm(b.ld_dt_stall),
                           norm(b.st_dt_stall), norm(b.vmu_stall),
                           norm(b.empty_stall), norm(b.dep_stall)});
         }
-        std::printf("%s\n%s\n", wname, table.render().c_str());
+        std::printf("%s\n%s\n", wname.c_str(), table.render().c_str());
     }
     return 0;
 }

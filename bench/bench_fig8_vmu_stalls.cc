@@ -5,6 +5,12 @@
  * back-pressure), per workload per EVE design. These stalls do not
  * necessarily bubble execution; they can be hidden by outstanding
  * compute.
+ *
+ * The grid is a SweepSpec (EVE designs x paper workloads) executed
+ * through the shared runSweep() plumbing; the stall fraction is
+ * recomputed from the flattened engine stats
+ * (eve.vmu_cache_stall_ticks / eve.vmu_issue_ticks) each job
+ * carries, so cached results reproduce the table exactly.
  */
 
 #include <cstdio>
@@ -12,9 +18,21 @@
 #include "bench_util.hh"
 #include "common/log.hh"
 #include "driver/table.hh"
-#include "workloads/workload.hh"
 
 using namespace eve;
+
+namespace
+{
+
+double
+stallFraction(const RunResult& r)
+{
+    const double stall = r.stat("eve.vmu_cache_stall_ticks");
+    const double issue = r.stat("eve.vmu_issue_ticks");
+    return (stall + issue) > 0 ? stall / (stall + issue) : 0.0;
+}
+
+} // namespace
 
 int
 main()
@@ -25,24 +43,27 @@ main()
     std::printf("Figure 8: VMU cache-induced stall fraction "
                 "(%% of request-issue time)\n\n");
 
+    exp::SweepSpec spec;
+    spec.systems(bench::eveSystems());
+    spec.workloads(exp::paperWorkloads(), small);
+
+    const auto results = bench::runSweep(spec, "fig8_vmu_stalls.jsonl");
+
+    const std::size_t n_workloads = spec.workloadCount();
+    const std::size_t n_systems = bench::eveSystems().size();
+
     std::vector<std::string> headers = {"workload"};
     for (const auto& cfg : bench::eveSystems())
         headers.push_back("EVE-" + std::to_string(cfg.eve_pf));
     TextTable table(headers);
 
-    for (const auto* wname :
-         {"vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
-          "backprop", "sw"}) {
-        std::vector<std::string> row = {wname};
-        for (const auto& cfg : bench::eveSystems()) {
-            auto w = makeWorkload(wname, small);
-            System sys(cfg);
-            const RunResult r = sys.run(*w);
-            if (r.mismatches)
-                fatal("%s failed functionally on %s", wname,
-                      r.system.c_str());
-            row.push_back(TextTable::num(
-                100.0 * sys.eveSystem()->vmuCacheStallFraction(), 1));
+    // jobs() order: systems outermost, workloads innermost.
+    for (std::size_t wl = 0; wl < n_workloads; ++wl) {
+        std::vector<std::string> row = {results[wl].workload};
+        for (std::size_t sys = 0; sys < n_systems; ++sys) {
+            const RunResult& r = results[sys * n_workloads + wl].result;
+            row.push_back(
+                TextTable::num(100.0 * stallFraction(r), 1));
         }
         table.addRow(row);
     }

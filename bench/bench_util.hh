@@ -16,6 +16,7 @@
 #include "common/log.hh"
 #include "driver/system.hh"
 #include "exp/exp.hh"
+#include "exp/perf.hh"
 
 namespace eve::bench
 {
@@ -38,45 +39,34 @@ makeConfig(SystemKind kind, unsigned pf = 8)
     return cfg;
 }
 
-/** The Figure 6 system list: scalar + vector baselines + EVE sweep. */
+/**
+ * The Figure 6 system list: scalar + vector baselines + EVE sweep.
+ * One definition lives in exp::perf (the sim-speed benchmark runs
+ * the identical grid); these are the bench-facing names.
+ */
 inline std::vector<SystemConfig>
 fig6Systems()
 {
-    std::vector<SystemConfig> systems;
-    systems.push_back(makeConfig(SystemKind::IO));
-    systems.push_back(makeConfig(SystemKind::O3));
-    systems.push_back(makeConfig(SystemKind::O3IV));
-    systems.push_back(makeConfig(SystemKind::O3DV));
-    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u})
-        systems.push_back(makeConfig(SystemKind::O3EVE, pf));
-    return systems;
+    return exp::tableIIISystems();
 }
 
 /** The EVE-only sweep (Figures 7 and 8). */
 inline std::vector<SystemConfig>
 eveSystems()
 {
-    std::vector<SystemConfig> systems;
-    for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u})
-        systems.push_back(makeConfig(SystemKind::O3EVE, pf));
-    return systems;
+    return exp::eveDesignSystems();
 }
 
 /**
  * The Figure 6 experiment grid as a sweep spec: every Table III
  * system crossed with the paper's workload list. Shared by the
- * performance figure (which runs it) and Table III (which only
- * enumerates expandedSystems()).
+ * performance figure (which runs it), Table III (which only
+ * enumerates expandedSystems()), and the sim-speed benchmark.
  */
 inline exp::SweepSpec
 fig6Sweep(bool small)
 {
-    exp::SweepSpec spec;
-    spec.systems(fig6Systems());
-    spec.workloads({"vvadd", "mmult", "k-means", "pathfinder",
-                    "jacobi-2d", "backprop", "sw"},
-                   small);
-    return spec;
+    return exp::tableIIISweep(small);
 }
 
 /**
@@ -130,6 +120,25 @@ writeArtifact(const std::vector<exp::JobResult>& results,
     const std::string path = exp::artifactPath(name);
     exp::writeJsonLines(results, path);
     std::fprintf(stderr, "results: %s\n", path.c_str());
+}
+
+/**
+ * The standard harness plumbing in one call: wire up the optional
+ * EVE_EXP_CACHE_DIR result cache, run @p spec on the thread pool,
+ * die if any job failed, write the JSONL artifact (skipped when
+ * @p artifact_name is empty), and hand back the index-ordered
+ * results. Every table/figure bench goes through here so cache and
+ * artifact behaviour stay uniform.
+ */
+inline std::vector<exp::JobResult>
+runSweep(const exp::SweepSpec& spec, const std::string& artifact_name)
+{
+    const auto cache = envCache();
+    const auto results = makeRunner(cache.get()).run(spec.jobs());
+    requireAllOk(results);
+    if (!artifact_name.empty())
+        writeArtifact(results, artifact_name);
+    return results;
 }
 
 } // namespace eve::bench

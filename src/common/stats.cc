@@ -8,37 +8,72 @@
 namespace eve
 {
 
+StatGroup::Id
+StatGroup::id(const std::string& stat)
+{
+    auto it = index.find(stat);
+    if (it != index.end())
+        return it->second;
+    const Id new_id = Id(entries.size());
+    entries.push_back(Entry{stat, 0, false});
+    index.emplace(stat, new_id);
+    return new_id;
+}
+
 double
 StatGroup::get(const std::string& stat) const
 {
-    auto it = values.find(stat);
-    return it == values.end() ? 0.0 : it->second;
+    auto it = index.find(stat);
+    if (it == index.end())
+        return 0.0;
+    const Entry& e = entries[it->second];
+    return e.touched ? e.value : 0.0;
 }
 
 void
 StatGroup::merge(const StatGroup& other)
 {
-    for (const auto& [stat, value] : other.values)
-        values[stat] += value;
+    for (const Entry& e : other.entries) {
+        if (e.touched)
+            add(id(e.name), e.value);
+    }
 }
 
 bool
 StatGroup::has(const std::string& stat) const
 {
-    return values.find(stat) != values.end();
+    auto it = index.find(stat);
+    return it != index.end() && entries[it->second].touched;
+}
+
+void
+StatGroup::clear()
+{
+    for (Entry& e : entries) {
+        e.value = 0;
+        e.touched = false;
+    }
 }
 
 std::vector<std::pair<std::string, double>>
 StatGroup::sorted() const
 {
-    return {values.begin(), values.end()};
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(entries.size());
+    // The index map is already name-sorted.
+    for (const auto& [stat, stat_id] : index) {
+        const Entry& e = entries[stat_id];
+        if (e.touched)
+            out.emplace_back(stat, e.value);
+    }
+    return out;
 }
 
 std::string
 StatGroup::dump() const
 {
     std::ostringstream os;
-    for (const auto& [stat, value] : values) {
+    for (const auto& [stat, value] : sorted()) {
         if (!groupName.empty())
             os << groupName << '.';
         os << stat << " = " << value << '\n';
@@ -49,6 +84,9 @@ StatGroup::dump() const
 std::string
 StatGroup::toJson() const
 {
+    std::map<std::string, double> values;
+    for (const auto& [stat, value] : sorted())
+        values.emplace(stat, value);
     return statsToJson(values);
 }
 

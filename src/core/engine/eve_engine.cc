@@ -60,6 +60,14 @@ EveSystem::EveSystem(const EveParams& params, MemHierarchy& mem)
     vsuFree = params.spawn_ready;
     if (params.pf == 32)
         this->params.dtu_line_cycles = 1;  // no transpose needed
+
+    statVectorInstrs = statGroup.id("vector_instrs");
+    statVsuUops = statGroup.id("vsu_uops");
+    statVsuArrayUops = statGroup.id("vsu_array_uops");
+    statVmuLines = statGroup.id("vmu_lines");
+    statVmuCacheStall = statGroup.id("vmu_cache_stall_ticks");
+    statVmuIssue = statGroup.id("vmu_issue_ticks");
+    statVruOps = statGroup.id("vru_ops");
 }
 
 Tick
@@ -147,7 +155,7 @@ EveSystem::consumeVector(const Instr& instr)
         panic("EveSystem: vl %u exceeds hardware vl %u (pf %u)",
               instr.vl, hwVl, params.pf);
 
-    statGroup.add("vector_instrs", 1);
+    statGroup.add(statVectorInstrs, 1);
     Tick commit = core.dispatchVector(instr);
     commit = std::max(commit, params.spawn_ready);
 
@@ -218,13 +226,13 @@ EveSystem::execCompute(const Instr& instr, Tick commit)
     vregReady[instr.dst] = done;
     producer[instr.dst] = Producer{Producer::Kind::Compute, 0, 0};
     engineLast = std::max(engineLast, done);
-    statGroup.add("vsu_uops", double(cycles));
+    statGroup.add(statVsuUops, double(cycles));
     // Only the sub-arrays holding active elements burn row-operation
     // energy (clock gating by the VCU).
     const unsigned active_arrays = unsigned(divCeil(
         std::max<std::uint32_t>(instr.vl, 1),
         dataLayout.lanesPerArray()));
-    statGroup.add("vsu_array_uops",
+    statGroup.add(statVsuArrayUops,
                   double(cycles) *
                       std::min(active_arrays, params.arrays));
 }
@@ -244,9 +252,9 @@ EveSystem::execLoad(const Instr& instr, Tick commit)
         mem_start = std::max(mem_start, idx_done);
     }
 
-    const auto lines =
-        planRequests(instr, mem.llc().params().line_bytes);
-    statGroup.add("vmu_lines", double(lines.size()));
+    planRequestsInto(instr, mem.llc().params().line_bytes, lineBuf);
+    const auto& lines = lineBuf;
+    statGroup.add(statVmuLines, double(lines.size()));
 
     Tick gen = mem_start;
     Tick mem_done = mem_start;
@@ -261,8 +269,8 @@ EveSystem::execLoad(const Instr& instr, Tick commit)
             line_done = mem.llc().access(line, false, g);
             return line_done;
         });
-        statGroup.add("vmu_cache_stall_ticks", double(grant - want));
-        statGroup.add("vmu_issue_ticks", double(clock.period()));
+        statGroup.add(statVmuCacheStall, double(grant - want));
+        statGroup.add(statVmuIssue, double(clock.period()));
         gen = grant;
         mem_done = std::max(mem_done, line_done);
         const Tick dt_busy = clock.toTicks(params.dtu_line_cycles);
@@ -316,8 +324,8 @@ EveSystem::execStore(const Instr& instr, Tick commit)
     attributeGap(vsuFree, ready, commit, instr);
 
     Tick store_done = 0;
-    const auto lines =
-        planRequests(instr, mem.llc().params().line_bytes);
+    planRequestsInto(instr, mem.llc().params().line_bytes, lineBuf);
+    const auto& lines = lineBuf;
     const Tick grant = vmuQueue.acquire(ready, [&](Tick g) {
         const Tick read_done = g + clock.toTicks(segs);
         Tick gen = std::max(read_done, vmuGenFree);
@@ -336,9 +344,9 @@ EveSystem::execStore(const Instr& instr, Tick commit)
                 line_done = mem.llc().access(line, true, t);
                 return line_done;
             });
-            statGroup.add("vmu_cache_stall_ticks",
+            statGroup.add(statVmuCacheStall,
                           double(w_grant - want));
-            statGroup.add("vmu_issue_ticks", double(clock.period()));
+            statGroup.add(statVmuIssue, double(clock.period()));
             gen = w_grant;
             store_done = std::max(store_done, line_done);
         }
@@ -347,7 +355,7 @@ EveSystem::execStore(const Instr& instr, Tick commit)
     });
     if (grant > ready)
         bdown.vmu_stall += double(grant - ready);
-    statGroup.add("vmu_lines", double(lines.size()));
+    statGroup.add(statVmuLines, double(lines.size()));
 
     const Tick read_done = grant + clock.toTicks(segs);
     bdown.busy += double(read_done - grant);
@@ -386,7 +394,7 @@ EveSystem::execVru(const Instr& instr, Tick commit)
     vregReady[instr.dst] = done;
     producer[instr.dst] = Producer{Producer::Kind::Vru, 0, 0};
     engineLast = std::max(engineLast, done);
-    statGroup.add("vru_ops", 1);
+    statGroup.add(statVruOps, 1);
 }
 
 void

@@ -33,6 +33,7 @@
 
 #include <array>
 #include <memory>
+#include <vector>
 
 #include "core/layout/layout.hh"
 #include "core/uprog/macro_lib.hh"
@@ -142,6 +143,7 @@ class EveSystem : public TimingModel
     Tick vsuFree = 0;
     Tick vruFree = 0;
     Tick vmuGenFree = 0;
+    std::vector<Addr> lineBuf;  ///< reused per-instruction request plan
     PipelinedUnits dtuUnits;
     TokenPool vmuQueue;
     TokenPool vmuCredits;  ///< outstanding-line back-pressure
@@ -152,6 +154,9 @@ class EveSystem : public TimingModel
 
     EveBreakdown bdown;
     StatGroup statGroup;
+    StatGroup::Id statVectorInstrs, statVsuUops, statVsuArrayUops;
+    StatGroup::Id statVmuLines, statVmuCacheStall, statVmuIssue;
+    StatGroup::Id statVruOps;
 };
 
 } // namespace eve

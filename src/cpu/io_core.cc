@@ -14,6 +14,9 @@ IOCore::IOCore(const IOCoreParams& params, MemHierarchy& mem)
       storeBuffer(params.store_buffer),
       statGroup("io")
 {
+    statInstrs = statGroup.id("instrs");
+    statLoadStall = statGroup.id("load_stall_ticks");
+    statStoreStall = statGroup.id("store_stall_ticks");
 }
 
 void
@@ -23,7 +26,7 @@ IOCore::consume(const Instr& instr)
         panic("IOCore: vector instruction %s in a scalar trace",
               std::string(opName(instr.op)).c_str());
 
-    statGroup.add("instrs", 1);
+    statGroup.add(statInstrs, 1);
     now += clock.period();
 
     switch (opClass(instr.op)) {
@@ -37,7 +40,7 @@ IOCore::consume(const Instr& instr)
         break;
       case OpClass::ScalarLoad: {
         const Tick done = mem.l1d().access(instr.addr, false, now);
-        statGroup.add("load_stall_ticks", double(done - now));
+        statGroup.add(statLoadStall, double(done - now));
         now = done;
         break;
       }
@@ -49,7 +52,7 @@ IOCore::consume(const Instr& instr)
             done = mem.l1d().access(instr.addr, true, g);
             return done;
         });
-        statGroup.add("store_stall_ticks", double(grant - now));
+        statGroup.add(statStoreStall, double(grant - now));
         now = grant;
         lastStoreDone = std::max(lastStoreDone, done);
         break;

@@ -47,6 +47,7 @@ class IOCore : public TimingModel
     Tick lastStoreDone = 0;
     TokenPool storeBuffer;
     StatGroup statGroup;
+    StatGroup::Id statInstrs, statLoadStall, statStoreStall;
 };
 
 } // namespace eve

@@ -15,6 +15,11 @@ O3Core::O3Core(const O3CoreParams& params, MemHierarchy& mem)
       lsq(params.lsq),
       statGroup("o3")
 {
+    statInstrs = statGroup.id("instrs");
+    statRobStall = statGroup.id("rob_stall_ticks");
+    statLsqStall = statGroup.id("lsq_stall_ticks");
+    statVectorDispatches = statGroup.id("vector_dispatches");
+    statCommitStall = statGroup.id("commit_stall_ticks");
 }
 
 Tick
@@ -27,7 +32,7 @@ O3Core::dispatchSlot()
         const Tick head = rob.front();
         rob.pop_front();
         if (head > slot) {
-            statGroup.add("rob_stall_ticks", double(head - slot));
+            statGroup.add(statRobStall, double(head - slot));
             slot = head;
         }
     }
@@ -42,7 +47,7 @@ O3Core::consume(const Instr& instr)
         panic("O3Core: vector instruction %s reached the scalar core",
               std::string(opName(instr.op)).c_str());
 
-    statGroup.add("instrs", 1);
+    statGroup.add(statInstrs, 1);
     const Tick slot = dispatchSlot();
     Tick issue = std::max({slot, regReady[instr.src1],
                            regReady[instr.src2]});
@@ -62,7 +67,7 @@ O3Core::consume(const Instr& instr)
             completion = mem.l1d().access(instr.addr, false, g);
             return completion;
         });
-        statGroup.add("lsq_stall_ticks", double(grant - issue));
+        statGroup.add(statLsqStall, double(grant - issue));
         done = completion;
         break;
       }
@@ -87,7 +92,7 @@ Tick
 O3Core::dispatchVector(const Instr& instr)
 {
     (void)instr;
-    statGroup.add("vector_dispatches", 1);
+    statGroup.add(statVectorDispatches, 1);
     const Tick slot = dispatchSlot();
     // The instruction is sent to the engine once it is the oldest and
     // ready to commit (EVE does not support precise exceptions).
@@ -101,7 +106,7 @@ void
 O3Core::stallCommit(Tick until)
 {
     if (until > inOrderDone) {
-        statGroup.add("commit_stall_ticks", double(until - inOrderDone));
+        statGroup.add(statCommitStall, double(until - inOrderDone));
         inOrderDone = until;
     }
     lastSlot = std::max(lastSlot, until);

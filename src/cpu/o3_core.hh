@@ -90,6 +90,8 @@ class O3Core : public TimingModel
     std::deque<Tick> rob;
     TokenPool lsq;
     StatGroup statGroup;
+    StatGroup::Id statInstrs, statRobStall, statLsqStall;
+    StatGroup::Id statVectorDispatches, statCommitStall;
 };
 
 } // namespace eve

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Simulator-speed measurement and the timing-parity guard.
+ *
+ * Hot-path work on the timing core is only admissible if it does not
+ * change a single simulated cycle. The parity guard makes that
+ * mechanical: every run has a *parity fingerprint* — a 64-bit FNV-1a
+ * hash of its deterministic result payload (resultToJson without host
+ * time: cycles, seconds, instrs, the full stats map, the EVE
+ * breakdown) — keyed by the configuration fingerprint, workload, and
+ * input scale. A ParityFile stores golden fingerprints; a check run
+ * re-simulates the same grid and compares byte-for-byte. If the guard
+ * passes, kSimulatorSalt does not need a bump and every cached sweep
+ * result stays valid.
+ *
+ * The speed side answers "how fast is the simulator itself": serial
+ * jobs/sec and host-ns per simulated cycle over a job list, overall
+ * and per simulated system. Serial execution (not the Runner pool)
+ * keeps the numbers comparable across hosts with different core
+ * counts and keeps per-job attribution exact.
+ */
+
+#ifndef EVE_EXP_PERF_HH
+#define EVE_EXP_PERF_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+
+namespace eve::exp
+{
+
+/** The Table III system list (IO, O3, O3+IV, O3+DV, EVE-1..32). */
+std::vector<SystemConfig> tableIIISystems();
+
+/** The EVE-only design sweep (EVE-1..32), as used by Figures 7/8. */
+std::vector<SystemConfig> eveDesignSystems();
+
+/** The paper's Figure 6 workload list. */
+const std::vector<std::string>& paperWorkloads();
+
+/**
+ * The canonical Table III grid: every Table III system crossed with
+ * the paper's workloads. This is the reference sweep for both the
+ * performance figures and the simulator-speed benchmark.
+ */
+SweepSpec tableIIISweep(bool small);
+
+/** Deterministic result payload the parity fingerprint hashes. */
+std::string parityPayload(const JobResult& r);
+
+/** 64-bit FNV-1a fingerprint of parityPayload(). */
+std::uint64_t parityFingerprint(const JobResult& r);
+
+/**
+ * Stable identity of one grid point:
+ * "<system>|<workload>|<scale>|cfg=<16-hex configFingerprint>".
+ * Deliberately salt-free: the whole point of the guard is to compare
+ * across simulator versions under the *same* salt.
+ */
+std::string parityKey(const SystemConfig& config,
+                      const std::string& workload,
+                      const std::string& scale);
+
+/** Key of the grid point a JobResult came from. */
+std::string parityKey(const JobResult& r, const std::string& scale);
+
+/**
+ * A keyed set of golden parity fingerprints with a line-oriented
+ * on-disk form: "<16-hex fingerprint> <key>" per line, '#' comments.
+ */
+class ParityFile
+{
+  public:
+    /** Fingerprint every Ok result of @p results. */
+    static ParityFile fromResults(const std::vector<JobResult>& results,
+                                  const std::string& scale);
+
+    /** Load a golden file; fatal on I/O or parse errors. */
+    static ParityFile load(const std::string& path);
+
+    /** Write the golden file (sorted by key); fatal on I/O errors. */
+    void save(const std::string& path) const;
+
+    /**
+     * Compare @p results against the goldens. Returns one
+     * human-readable line per divergence: fingerprint mismatches,
+     * grid points missing from the goldens, and non-Ok jobs. Empty
+     * means byte-identical timing.
+     */
+    std::vector<std::string>
+    check(const std::vector<JobResult>& results,
+          const std::string& scale) const;
+
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    std::map<std::string, std::uint64_t> entries;
+};
+
+/** Speed of one simulated system within a measurement pass. */
+struct SystemSpeed
+{
+    std::string system;
+    std::size_t jobs = 0;          ///< jobs measured (all iterations)
+    double wall_seconds = 0;       ///< host time spent simulating
+    double jobs_per_sec = 0;
+    double sim_cycles = 0;         ///< simulated core cycles (all iters)
+    double ns_per_sim_cycle = 0;   ///< host-ns per simulated cycle
+};
+
+/** Result of measureSimSpeed(). */
+struct SpeedReport
+{
+    std::size_t jobs = 0;          ///< job executions (all iterations)
+    double wall_seconds = 0;
+    double jobs_per_sec = 0;
+    double sim_cycles = 0;
+    double ns_per_sim_cycle = 0;
+    std::vector<SystemSpeed> per_system;
+
+    /** First-iteration results (for parity checks / artifacts). */
+    std::vector<JobResult> results;
+};
+
+/**
+ * Run every job serially @p iters times, timing each execution.
+ * Failures are fatal — a speed number over failed jobs is
+ * meaningless. @p iters > 1 amortizes host timer noise.
+ */
+SpeedReport measureSimSpeed(const std::vector<Job>& jobs,
+                            unsigned iters = 1);
+
+/**
+ * Render @p report as a JSON object. @p baseline_jobs_per_sec > 0
+ * adds "baseline_jobs_per_sec" and "speedup_vs_baseline".
+ */
+std::string speedReportJson(const SpeedReport& report,
+                            const std::string& grid_label,
+                            double baseline_jobs_per_sec = 0);
+
+} // namespace eve::exp
+
+#endif // EVE_EXP_PERF_HH

@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/bits.hh"
 #include "common/log.hh"
@@ -15,8 +16,10 @@ Cache::Cache(const CacheParams& params, MemObject* next_level)
       sets(unsigned(params.size_bytes /
                     (std::uint64_t(params.line_bytes) * params.assoc))),
       liveWays(params.assoc),
-      tagArray(sets, std::vector<Line>(params.assoc)),
+      tagArray(std::size_t(sets) * params.assoc),
+      validMask(sets, 0),
       mshrPool(params.mshrs),
+      outstanding(4 * std::size_t(params.mshrs) + 8),
       statGroup(params.name)
 {
     if (!next)
@@ -24,17 +27,35 @@ Cache::Cache(const CacheParams& params, MemObject* next_level)
     if (sets == 0 || !isPow2(sets))
         fatal("cache %s: set count %u must be a nonzero power of two",
               params.name.c_str(), sets);
+    if (params.assoc == 0 || params.assoc > 16)
+        fatal("cache %s: assoc %u outside [1, 16] supported by the "
+              "order-encoded recency list",
+              params.name.c_str(), params.assoc);
+    // Recency starts as way order: nibble p holds way p.
+    std::uint64_t order = 0;
+    for (unsigned w = 0; w < params.assoc; ++w)
+        order |= std::uint64_t(w) << (4 * w);
+    lruOrder.assign(sets, order);
     bankPorts.reserve(params.banks);
     for (unsigned i = 0; i < params.banks; ++i)
         bankPorts.emplace_back(1);
+
+    statReads = statGroup.id("reads");
+    statWrites = statGroup.id("writes");
+    statHits = statGroup.id("hits");
+    statMisses = statGroup.id("misses");
+    statMshrWait = statGroup.id("mshr_wait_ticks");
+    statMshrMerges = statGroup.id("mshr_merges");
+    statWritebacks = statGroup.id("writebacks");
+    statPrefetches = statGroup.id("prefetches");
 }
 
 int
 Cache::findWay(unsigned set, Addr tag) const
 {
+    const Line* base = setBase(set);
     for (unsigned w = 0; w < liveWays; ++w) {
-        const Line& line = tagArray[set][w];
-        if (line.valid && line.tag == tag)
+        if (base[w].valid && base[w].tag == tag)
             return int(w);
     }
     return -1;
@@ -43,18 +64,40 @@ Cache::findWay(unsigned set, Addr tag) const
 unsigned
 Cache::victimWay(unsigned set) const
 {
-    unsigned victim = 0;
-    std::uint64_t best = ~std::uint64_t{0};
-    for (unsigned w = 0; w < liveWays; ++w) {
-        const Line& line = tagArray[set][w];
-        if (!line.valid)
-            return w;
-        if (line.lru < best) {
-            best = line.lru;
-            victim = w;
-        }
+    // Invalid ways first, lowest index — exactly the order the old
+    // per-line scan returned them in.
+    const auto active = std::uint16_t((1u << liveWays) - 1);
+    const auto invalid = std::uint16_t(~validMask[set] & active);
+    if (invalid)
+        return unsigned(std::countr_zero(invalid));
+    // All active ways valid: the least recently used active way is
+    // the first nibble from the LRU end that names an active way
+    // (masked-off ways keep their frozen positions in the list).
+    const std::uint64_t order = lruOrder[set];
+    for (unsigned p = 0; p < cacheParams.assoc; ++p) {
+        const auto way = unsigned((order >> (4 * p)) & 0xF);
+        if (way < liveWays)
+            return way;
     }
-    return victim;
+    return 0; // unreachable: liveWays >= 1
+}
+
+void
+Cache::touchLru(unsigned set, unsigned way)
+{
+    const unsigned assoc = cacheParams.assoc;
+    std::uint64_t order = lruOrder[set];
+    unsigned p = 0;
+    while (((order >> (4 * p)) & 0xF) != way)
+        ++p;
+    if (p == assoc - 1)
+        return; // already MRU
+    // Splice the nibble out and append it at the MRU end.
+    const std::uint64_t below =
+        p ? order & ((std::uint64_t{1} << (4 * p)) - 1) : 0;
+    const std::uint64_t shifted = (order >> (4 * (p + 1))) << (4 * p);
+    lruOrder[set] =
+        below | shifted | (std::uint64_t(way) << (4 * (assoc - 1)));
 }
 
 Tick
@@ -70,40 +113,39 @@ Cache::access(Addr addr, bool is_write, Tick t)
     const Tick start = bank.acquire(t, clock.period());
     const Tick hit_done = start + clock.toTicks(cacheParams.hit_latency);
 
-    statGroup.add(is_write ? "writes" : "reads", 1);
+    statGroup.add(is_write ? statWrites : statReads, 1);
 
     int way = findWay(set, tag);
     if (way >= 0) {
         // Hit — but if the line's fill is still in flight, the access
         // completes when the fill does.
-        Line& entry = tagArray[set][unsigned(way)];
-        entry.lru = ++lruClock;
+        Line& entry = setBase(set)[unsigned(way)];
+        touchLru(set, unsigned(way));
         if (is_write)
             entry.dirty = true;
         Tick done = hit_done;
-        auto it = outstanding.find(line);
-        if (it != outstanding.end()) {
-            if (it->second > hit_done) {
-                done = it->second;
-                statGroup.add("mshr_merges", 1);
+        if (Tick* fill = outstanding.find(line)) {
+            if (*fill > hit_done) {
+                done = *fill;
+                statGroup.add(statMshrMerges, 1);
             } else {
-                outstanding.erase(it);
+                outstanding.erase(line);
             }
         }
-        statGroup.add("hits", 1);
+        statGroup.add(statHits, 1);
         return done;
     }
 
     // Miss: allocate an MSHR (stalling if none are free), fetch the
     // line from the next level, then fill.
-    statGroup.add("misses", 1);
+    statGroup.add(statMisses, 1);
     Tick fill = 0;
     const Tick want = hit_done;  // miss detected after the lookup
     const Tick grant = mshrPool.acquire(want, [&](Tick g) {
         fill = next->access(addr, false, g) + clock.period();
         return fill;
     });
-    statGroup.add("mshr_wait_ticks", double(grant - want));
+    statGroup.add(statMshrWait, double(grant - want));
 
     // Victim handling: write back dirty victims to the next level
     // (bandwidth is charged there; the fill does not wait for it).
@@ -111,13 +153,13 @@ Cache::access(Addr addr, bool is_write, Tick t)
     // fill time would park a future reservation on the next level's
     // channel and stall earlier arrivals behind it.
     const unsigned victim = victimWay(set);
-    Line& entry = tagArray[set][victim];
+    Line& entry = setBase(set)[victim];
     if (entry.valid) {
         const Addr victim_line = entry.tag * sets + set;
         if (entry.dirty) {
             next->access(victim_line * cacheParams.line_bytes, true,
                          grant);
-            statGroup.add("writebacks", 1);
+            statGroup.add(statWritebacks, 1);
         }
         // The victim's in-flight fill state dies with the line: a
         // stale entry would merge a later re-fetch of the same line
@@ -128,18 +170,21 @@ Cache::access(Addr addr, bool is_write, Tick t)
     entry.valid = true;
     entry.dirty = is_write;
     entry.tag = tag;
-    entry.lru = ++lruClock;
+    validMask[set] |= std::uint16_t(1u << victim);
+    touchLru(set, victim);
 
-    outstanding[line] = fill;
+    outstanding.insertOrAssign(line, fill);
     // Keep the outstanding map from growing without bound: drop
-    // entries that completed long before this access.
-    if (outstanding.size() > 4 * cacheParams.mshrs) {
-        for (auto it = outstanding.begin(); it != outstanding.end();) {
-            if (it->second <= start)
-                it = outstanding.erase(it);
-            else
-                ++it;
-        }
+    // entries that completed long before this access. The min-value
+    // bound skips the rebuild when no entry can match — decoupled
+    // engines run the fill stream far ahead of the access stream, so
+    // the size condition alone would fire on every miss while
+    // dropping nothing. Skipped prunes leave the entry set (and so
+    // simulated timing) untouched.
+    if (outstanding.size() > 4 * cacheParams.mshrs &&
+        outstanding.minValueBound() <= start) {
+        outstanding.eraseIf(
+            [start](Addr, Tick fill_t) { return fill_t <= start; });
     }
 
     // Stream prefetch: pull the next lines in parallel with the
@@ -156,26 +201,27 @@ Cache::prefetchLine(Addr line, Tick t)
 {
     const unsigned set = setIndex(line);
     const Addr tag = tagOf(line);
-    if (findWay(set, tag) >= 0 || outstanding.count(line))
+    if (findWay(set, tag) >= 0 || outstanding.contains(line))
         return;
-    statGroup.add("prefetches", 1);
+    statGroup.add(statPrefetches, 1);
     const Tick fill = next->access(line * cacheParams.line_bytes,
                                    false, t) + clock.period();
     const unsigned victim = victimWay(set);
-    Line& entry = tagArray[set][victim];
+    Line& entry = setBase(set)[victim];
     if (entry.valid) {
         const Addr victim_line = entry.tag * sets + set;
         if (entry.dirty) {
             next->access(victim_line * cacheParams.line_bytes, true, t);
-            statGroup.add("writebacks", 1);
+            statGroup.add(statWritebacks, 1);
         }
         outstanding.erase(victim_line);
     }
     entry.valid = true;
     entry.dirty = false;
     entry.tag = tag;
-    entry.lru = ++lruClock;
-    outstanding[line] = fill;
+    validMask[set] |= std::uint16_t(1u << victim);
+    touchLru(set, victim);
+    outstanding.insertOrAssign(line, fill);
 }
 
 void
@@ -205,8 +251,9 @@ Cache::invalidateWays(unsigned way_begin, unsigned way_end)
               cacheParams.name.c_str(), way_begin, way_end);
     InvalidateResult result;
     for (unsigned s = 0; s < sets; ++s) {
+        Line* base = setBase(s);
         for (unsigned w = way_begin; w < way_end; ++w) {
-            Line& line = tagArray[s][w];
+            Line& line = base[w];
             if (line.valid) {
                 ++result.valid_lines;
                 if (line.dirty)
@@ -217,6 +264,7 @@ Cache::invalidateWays(unsigned way_begin, unsigned way_end)
                 outstanding.erase(line.tag * sets + s);
             }
             line = Line{};
+            validMask[s] &= std::uint16_t(~(1u << w));
         }
     }
     return result;
@@ -238,13 +286,14 @@ Cache::touch(Addr addr, bool dirty)
     int way = findWay(set, tag);
     if (way < 0) {
         way = int(victimWay(set));
-        Line& entry = tagArray[set][unsigned(way)];
+        Line& entry = setBase(set)[unsigned(way)];
         entry.valid = true;
         entry.dirty = false;
         entry.tag = tag;
+        validMask[set] |= std::uint16_t(1u << unsigned(way));
     }
-    Line& entry = tagArray[set][unsigned(way)];
-    entry.lru = ++lruClock;
+    Line& entry = setBase(set)[unsigned(way)];
+    touchLru(set, unsigned(way));
     entry.dirty = entry.dirty || dirty;
 }
 

@@ -12,6 +12,16 @@
  * Way masking supports the EVE reconfiguration story: the L2 can be
  * restricted to its "cache ways" while the "EVE ways" are carved out
  * as an ephemeral vector engine (Section V-E of the paper).
+ *
+ * Hot-path layout (see DESIGN.md "Hot-path invariants & timing
+ * parity"): the tag array is one flat vector indexed [set * assoc +
+ * way]; recency is order-encoded per set (a packed nibble list,
+ * LRU -> MRU) next to a valid-way bitmask, so victim selection reads
+ * two words instead of scanning per-line 64-bit timestamps; and the
+ * in-flight-fill (MSHR) tracker is a flat open-addressing table
+ * (common/flat_map.hh) instead of an unordered_map. None of this
+ * changes a simulated cycle — the structures are behaviourally
+ * identical to what they replaced.
  */
 
 #ifndef EVE_MEM_CACHE_HH
@@ -19,9 +29,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "mem/mem_object.hh"
 #include "sim/resource.hh"
@@ -108,18 +118,23 @@ class Cache : public MemObject
         Addr tag = 0;
         bool valid = false;
         bool dirty = false;
-        std::uint64_t lru = 0;
     };
 
     Addr lineAddr(Addr addr) const { return addr / cacheParams.line_bytes; }
     unsigned setIndex(Addr line) const { return unsigned(line % sets); }
     Addr tagOf(Addr line) const { return line / sets; }
 
+    Line* setBase(unsigned set) { return &tagArray[std::size_t(set) * cacheParams.assoc]; }
+    const Line* setBase(unsigned set) const { return &tagArray[std::size_t(set) * cacheParams.assoc]; }
+
     /** Find the way holding @p line in its set, or -1. */
     int findWay(unsigned set, Addr tag) const;
 
     /** Pick a victim way among active ways (invalid first, then LRU). */
     unsigned victimWay(unsigned set) const;
+
+    /** Mark @p way most-recently used in its set's recency list. */
+    void touchLru(unsigned set, unsigned way);
 
     /** Issue one stream-prefetch fill for @p line at tick @p t. */
     void prefetchLine(Addr line, Tick t);
@@ -130,14 +145,25 @@ class Cache : public MemObject
 
     unsigned sets;
     unsigned liveWays;
-    std::vector<std::vector<Line>> tagArray;  ///< [set][way]
-    std::uint64_t lruClock = 0;
+    std::vector<Line> tagArray;          ///< flat, [set * assoc + way]
+
+    /**
+     * Per-set recency order, one nibble per position: nibble p holds
+     * the way index at recency position p (0 = LRU end, assoc-1 =
+     * MRU end). Exactly the order the per-line timestamps used to
+     * encode, without per-line 64-bit state.
+     */
+    std::vector<std::uint64_t> lruOrder;
+    std::vector<std::uint16_t> validMask; ///< per-set valid-way bits
 
     std::vector<PipelinedUnits> bankPorts;
     TokenPool mshrPool;
-    std::unordered_map<Addr, Tick> outstanding;  ///< line -> fill tick
+    FlatAddrMap outstanding;              ///< line -> fill tick
 
     StatGroup statGroup;
+    StatGroup::Id statReads, statWrites, statHits, statMisses;
+    StatGroup::Id statMshrWait, statMshrMerges, statWritebacks;
+    StatGroup::Id statPrefetches;
 };
 
 } // namespace eve

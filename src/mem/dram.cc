@@ -13,6 +13,9 @@ Dram::Dram(const DramParams& params)
       channel(1),
       statGroup("dram")
 {
+    statReads = statGroup.id("reads");
+    statWrites = statGroup.id("writes");
+    statQueueTicks = statGroup.id("queue_ticks");
 }
 
 Tick
@@ -20,8 +23,8 @@ Dram::access(Addr addr, bool is_write, Tick t)
 {
     (void)addr;
     Tick start = channel.acquire(t, lineOccupancyTicks);
-    statGroup.add(is_write ? "writes" : "reads", 1);
-    statGroup.add("queue_ticks", double(start - t));
+    statGroup.add(is_write ? statWrites : statReads, 1);
+    statGroup.add(statQueueTicks, double(start - t));
     // Stores complete when the channel accepts them; loads pay the
     // full access latency.
     return is_write ? start + lineOccupancyTicks : start + latencyTicks;

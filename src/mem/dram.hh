@@ -45,6 +45,7 @@ class Dram : public MemObject
     Tick lineOccupancyTicks;
     PipelinedUnits channel;
     StatGroup statGroup;
+    StatGroup::Id statReads, statWrites, statQueueTicks;
 };
 
 } // namespace eve

@@ -1,7 +1,5 @@
 #include "sim/resource.hh"
 
-#include <algorithm>
-
 #include "common/log.hh"
 
 namespace eve
@@ -12,22 +10,6 @@ PipelinedUnits::PipelinedUnits(unsigned count)
 {
 }
 
-Tick
-PipelinedUnits::acquire(Tick t, Tick busy)
-{
-    auto it = std::min_element(freeAt.begin(), freeAt.end());
-    Tick start = std::max(t, *it);
-    *it = start + busy;
-    return start;
-}
-
-Tick
-PipelinedUnits::earliestStart(Tick t) const
-{
-    Tick min_free = *std::min_element(freeAt.begin(), freeAt.end());
-    return std::max(t, min_free);
-}
-
 void
 PipelinedUnits::reset()
 {
@@ -36,35 +18,7 @@ PipelinedUnits::reset()
 
 TokenPool::TokenPool(unsigned count) : capacity(std::max(count, 1u))
 {
-}
-
-Tick
-TokenPool::grantTime(Tick t) const
-{
-    if (busy.size() < capacity)
-        return t;
-    // All tokens busy: the request waits for the earliest release.
-    return std::max(t, busy.top());
-}
-
-unsigned
-TokenPool::inFlight(Tick t)
-{
-    retire(t);
-    return unsigned(busy.size());
-}
-
-void
-TokenPool::reset()
-{
-    busy = {};
-}
-
-void
-TokenPool::retire(Tick t)
-{
-    while (!busy.empty() && busy.top() <= t)
-        busy.pop();
+    busy.reserve(capacity + 1);
 }
 
 } // namespace eve

@@ -10,13 +10,24 @@
  * occupancy. This is the classic interval-simulation technique and it
  * preserves the two behaviours the paper's results hinge on: finite
  * bandwidth and finite miss-level parallelism.
+ *
+ * Both primitives keep their occupancy in small flat arrays that
+ * never reallocate after construction: PipelinedUnits holds its
+ * per-unit free ticks sorted ascending (the earliest-free unit is
+ * always the front, and the common single-unit case — every cache
+ * bank — is a single compare), and TokenPool keeps in-flight release
+ * ticks in a binary min-heap laid out in a pre-reserved vector, so a
+ * grant inspects the front and each retire is one sift-down. Grant
+ * ticks are identical to the originals — see DESIGN.md "Hot-path
+ * invariants & timing parity".
  */
 
 #ifndef EVE_SIM_RESOURCE_HH
 #define EVE_SIM_RESOURCE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -40,11 +51,28 @@ class PipelinedUnits
     /**
      * Reserve a unit for @p busy ticks starting no earlier than @p t.
      * @return the tick at which the unit actually starts serving.
+     *
+     * The units are interchangeable, so only the multiset of free
+     * ticks matters: consume the front (minimum) slot and re-insert
+     * its new free tick at the sorted position.
      */
-    Tick acquire(Tick t, Tick busy);
+    Tick
+    acquire(Tick t, Tick busy)
+    {
+        const Tick start = std::max(t, freeAt.front());
+        const Tick done = start + busy;
+        std::size_t i = 0;
+        const std::size_t last = freeAt.size() - 1;
+        while (i < last && freeAt[i + 1] < done) {
+            freeAt[i] = freeAt[i + 1];
+            ++i;
+        }
+        freeAt[i] = done;
+        return start;
+    }
 
     /** Earliest tick at which some unit is free, given arrival @p t. */
-    Tick earliestStart(Tick t) const;
+    Tick earliestStart(Tick t) const { return std::max(t, freeAt.front()); }
 
     /** Reset all units to free-at-zero. */
     void reset();
@@ -52,7 +80,7 @@ class PipelinedUnits
     unsigned count() const { return unsigned(freeAt.size()); }
 
   private:
-    std::vector<Tick> freeAt;
+    std::vector<Tick> freeAt; ///< sorted ascending; front = earliest
 };
 
 /**
@@ -80,31 +108,58 @@ class TokenPool
     Tick
     acquire(Tick t, ReleaseFn release_fn)
     {
-        Tick grant = grantTime(t);
+        const Tick grant = grantTime(t);
         retire(grant);
-        Tick release = release_fn(grant);
-        busy.push(release);
+        const Tick release = release_fn(grant);
+        busy.push_back(release);
+        std::push_heap(busy.begin(), busy.end(), std::greater<Tick>{});
         return grant;
     }
 
     /** Tick at which a token would be granted to an arrival at @p t. */
-    Tick grantTime(Tick t) const;
+    Tick
+    grantTime(Tick t) const
+    {
+        if (busy.size() < capacity)
+            return t;
+        // All tokens busy: the request waits for the earliest release.
+        return std::max(t, busy.front());
+    }
 
     /** Number of tokens in flight at tick @p t. */
-    unsigned inFlight(Tick t);
+    unsigned
+    inFlight(Tick t)
+    {
+        retire(t);
+        return unsigned(busy.size());
+    }
 
     /** Reset the pool to fully free. */
-    void reset();
+    void reset() { busy.clear(); }
 
     unsigned count() const { return capacity; }
 
   private:
     /** Drop all releases at or before @p t. */
-    void retire(Tick t);
+    void
+    retire(Tick t)
+    {
+        while (!busy.empty() && busy.front() <= t) {
+            std::pop_heap(busy.begin(), busy.end(), std::greater<Tick>{});
+            busy.pop_back();
+        }
+    }
 
     unsigned capacity;
-    // Min-heap of release ticks of in-flight tokens.
-    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>> busy;
+    /**
+     * Release ticks of in-flight tokens, kept as a binary min-heap
+     * (front = earliest release). Every acquire retires all releases
+     * at or before its grant — when the pool is full the grant is at
+     * least the minimum release, so at least one entry drops — which
+     * bounds the size by the capacity. The vector is reserved to
+     * capacity+1 at construction and never reallocates afterwards.
+     */
+    std::vector<Tick> busy;
 };
 
 } // namespace eve

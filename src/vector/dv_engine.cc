@@ -18,6 +18,9 @@ DVSystem::DVSystem(const DVParams& params, MemHierarchy& mem)
       vmuGen(1),
       statGroup("dv")
 {
+    statVectorInstrs = statGroup.id("vector_instrs");
+    statIssueWait = statGroup.id("issue_wait_ticks");
+    statVmuLines = statGroup.id("vmu_lines");
 }
 
 void
@@ -36,7 +39,7 @@ DVSystem::consumeVector(const Instr& instr)
         panic("DVSystem: vl %u exceeds hardware vl %u", instr.vl,
               params.hw_vl);
 
-    statGroup.add("vector_instrs", 1);
+    statGroup.add(statVectorInstrs, 1);
     const ClockDomain& clk = core.clockDomain();
     const Tick commit = core.dispatchVector(instr);
 
@@ -56,7 +59,7 @@ DVSystem::consumeVector(const Instr& instr)
         ready = std::max(ready, vregReady[0]);
     Tick& queue = is_mem ? memIssueFree : issueFree;
     const Tick issue = std::max({queue, commit, ready});
-    statGroup.add("issue_wait_ticks", double(issue - commit));
+    statGroup.add(statIssueWait, double(issue - commit));
     queue = issue + clk.period();
     Tick done = issue + clk.period();
 
@@ -109,8 +112,8 @@ DVSystem::consumeVector(const Instr& instr)
       case OpClass::VecMemStride:
       case OpClass::VecMemIndex: {
         const bool is_load = isVecLoad(instr.op);
-        const auto lines = planRequests(
-            instr, mem.l2().params().line_bytes);
+        planRequestsInto(instr, mem.l2().params().line_bytes, lineBuf);
+        const auto& lines = lineBuf;
         Tick max_done = issue;
         Tick gen = issue;
         for (const Addr line : lines) {
@@ -119,7 +122,7 @@ DVSystem::consumeVector(const Instr& instr)
             const Tick line_done = mem.l2().access(line, !is_load, gen);
             max_done = std::max(max_done, line_done);
         }
-        statGroup.add("vmu_lines", double(lines.size()));
+        statGroup.add(statVmuLines, double(lines.size()));
         done = is_load ? max_done + clk.period() : gen;
         memLast = std::max(memLast, max_done);
         break;

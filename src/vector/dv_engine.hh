@@ -16,6 +16,7 @@
 #define EVE_VECTOR_DV_ENGINE_HH
 
 #include <array>
+#include <vector>
 
 #include "cpu/o3_core.hh"
 #include "cpu/timing_model.hh"
@@ -71,10 +72,12 @@ class DVSystem : public TimingModel
     PipelinedUnits pipeComplex;
     PipelinedUnits pipeIter;
     PipelinedUnits vmuGen;  ///< request generation + translation
+    std::vector<Addr> lineBuf;  ///< reused per-instruction request plan
     std::array<Tick, 32> vregReady{};
     Tick memLast = 0;
     Tick engineLast = 0;
     StatGroup statGroup;
+    StatGroup::Id statVectorInstrs, statIssueWait, statVmuLines;
 };
 
 } // namespace eve

@@ -15,6 +15,7 @@ IVSystem::IVSystem(const IVParams& params, MemHierarchy& mem)
       memPipe(1),
       statGroup("iv")
 {
+    statVectorInstrs = statGroup.id("vector_instrs");
 }
 
 void
@@ -33,7 +34,7 @@ IVSystem::consumeVector(const Instr& instr)
         panic("IVSystem: vl %u exceeds hardware vl %u", instr.vl,
               params.hw_vl);
 
-    statGroup.add("vector_instrs", 1);
+    statGroup.add(statVectorInstrs, 1);
     const ClockDomain& clk = core.clockDomain();
     const Tick slot = core.takeSlot();
     Tick ready = 0;

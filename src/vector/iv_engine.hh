@@ -60,6 +60,7 @@ class IVSystem : public TimingModel
     std::array<Tick, 32> vregReady{};
     Tick engineLast = 0;
     StatGroup statGroup;
+    StatGroup::Id statVectorInstrs;
 };
 
 } // namespace eve

@@ -1,51 +1,22 @@
 #include "vector/request_gen.hh"
 
-#include "common/log.hh"
-
 namespace eve
 {
+
+void
+planRequestsInto(const Instr& instr, unsigned line_bytes,
+                 std::vector<Addr>& out)
+{
+    out.clear();
+    forEachRequestLine(instr, line_bytes,
+                       [&out](Addr a) { out.push_back(a); });
+}
 
 std::vector<Addr>
 planRequests(const Instr& instr, unsigned line_bytes)
 {
     std::vector<Addr> lines;
-    const Addr mask = ~Addr(line_bytes - 1);
-    switch (opClass(instr.op)) {
-      case OpClass::VecMemUnit: {
-        const Addr first = instr.addr & mask;
-        const Addr last = (instr.addr + Addr(instr.vl) * 4 - 1) & mask;
-        for (Addr a = first; a <= last; a += line_bytes)
-            lines.push_back(a);
-        break;
-      }
-      case OpClass::VecMemStride: {
-        Addr prev = ~Addr{0};
-        for (std::uint32_t i = 0; i < instr.vl; ++i) {
-            const Addr a =
-                (instr.addr + Addr(std::int64_t(i) * instr.stride)) &
-                mask;
-            if (a != prev)
-                lines.push_back(a);
-            prev = a;
-        }
-        break;
-      }
-      case OpClass::VecMemIndex: {
-        if (!instr.indices)
-            panic("planRequests: indexed access without indices");
-        Addr prev = ~Addr{0};
-        for (std::uint32_t i = 0; i < instr.vl; ++i) {
-            const Addr a = (instr.addr + instr.indices[i]) & mask;
-            if (a != prev)
-                lines.push_back(a);
-            prev = a;
-        }
-        break;
-      }
-      default:
-        panic("planRequests: %s is not a vector memory op",
-              std::string(opName(instr.op)).c_str());
-    }
+    planRequestsInto(instr, line_bytes, lines);
     return lines;
 }
 

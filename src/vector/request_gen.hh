@@ -7,18 +7,80 @@
  * touches contiguous lines, a strided/indexed access touches one line
  * per element unless neighbouring elements share a line. The plan is
  * the ordered list of line addresses the VMU issues.
+ *
+ * The planner comes in three forms, all producing the same sequence:
+ * forEachRequestLine() streams each line address to a callback with
+ * no intermediate storage; planRequestsInto() fills a caller-owned
+ * buffer, which the engines reuse across instructions so the per-
+ * instruction vector allocation disappears from the consume() hot
+ * loop; planRequests() returns a fresh vector for tests and cold
+ * callers.
  */
 
 #ifndef EVE_VECTOR_REQUEST_GEN_HH
 #define EVE_VECTOR_REQUEST_GEN_HH
 
+#include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "isa/instr.hh"
 
 namespace eve
 {
+
+/** Invoke @p fn(Addr) for each cacheline the memory op touches. */
+template <typename Fn>
+void
+forEachRequestLine(const Instr& instr, unsigned line_bytes, Fn&& fn)
+{
+    const Addr mask = ~Addr(line_bytes - 1);
+    switch (opClass(instr.op)) {
+      case OpClass::VecMemUnit: {
+        const Addr first = instr.addr & mask;
+        const Addr last = (instr.addr + Addr(instr.vl) * 4 - 1) & mask;
+        for (Addr a = first; a <= last; a += line_bytes)
+            fn(a);
+        break;
+      }
+      case OpClass::VecMemStride: {
+        Addr prev = ~Addr{0};
+        for (std::uint32_t i = 0; i < instr.vl; ++i) {
+            const Addr a =
+                (instr.addr + Addr(std::int64_t(i) * instr.stride)) &
+                mask;
+            if (a != prev)
+                fn(a);
+            prev = a;
+        }
+        break;
+      }
+      case OpClass::VecMemIndex: {
+        if (!instr.indices)
+            panic("planRequests: indexed access without indices");
+        Addr prev = ~Addr{0};
+        for (std::uint32_t i = 0; i < instr.vl; ++i) {
+            const Addr a = (instr.addr + instr.indices[i]) & mask;
+            if (a != prev)
+                fn(a);
+            prev = a;
+        }
+        break;
+      }
+      default:
+        panic("planRequests: %s is not a vector memory op",
+              std::string(opName(instr.op)).c_str());
+    }
+}
+
+/**
+ * Plan into @p out, replacing its contents. The buffer's capacity
+ * survives, so a caller reusing one buffer allocates only on the
+ * largest plan seen.
+ */
+void planRequestsInto(const Instr& instr, unsigned line_bytes,
+                      std::vector<Addr>& out);
 
 /** Ordered cacheline addresses one vector memory op generates. */
 std::vector<Addr> planRequests(const Instr& instr, unsigned line_bytes);

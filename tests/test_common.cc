@@ -141,6 +141,52 @@ TEST(Stats, MergeAccumulates)
     EXPECT_FALSE(b.has("cycles"));
 }
 
+TEST(Stats, PreRegisteredIdsAreInvisibleUntilTouched)
+{
+    // The timing-parity requirement behind the Id fast path:
+    // registering a handle in a constructor must not change what the
+    // group reports — only actual updates may.
+    StatGroup g("cache");
+    const StatGroup::Id hits = g.id("hits");
+    const StatGroup::Id misses = g.id("misses");
+    EXPECT_FALSE(g.has("hits"));
+    EXPECT_TRUE(g.sorted().empty());
+    EXPECT_EQ(g.toJson(), "{}");
+
+    g.add(hits, 3);
+    EXPECT_TRUE(g.has("hits"));
+    EXPECT_FALSE(g.has("misses"));
+    EXPECT_EQ(g.toJson(), "{\"hits\":3}");
+
+    // A zero delta still creates the counter, exactly like the
+    // string path (and the map it replaced) always did.
+    g.add(misses, 0);
+    EXPECT_TRUE(g.has("misses"));
+    EXPECT_EQ(g.toJson(), "{\"hits\":3,\"misses\":0}");
+}
+
+TEST(Stats, IdsStayValidAcrossClear)
+{
+    StatGroup g("core");
+    const StatGroup::Id instrs = g.id("instrs");
+    g.add(instrs, 10);
+    g.clear();
+    EXPECT_FALSE(g.has("instrs"));
+    g.add(instrs, 2);
+    EXPECT_EQ(g.get("instrs"), 2.0);
+    // id() resolves to the same handle after clear().
+    EXPECT_EQ(g.id("instrs"), instrs);
+}
+
+TEST(Stats, IdAndStringPathsAlias)
+{
+    StatGroup g;
+    const StatGroup::Id x = g.id("x");
+    g.add("x", 2);
+    g.add(x, 3);
+    EXPECT_EQ(g.get("x"), 5.0);
+}
+
 TEST(Stats, ToJsonSortedAndTyped)
 {
     StatGroup g("llc");

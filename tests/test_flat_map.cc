@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the flat Addr -> Tick table backing the cache's
+ * in-flight-fill (MSHR) tracking. The table must behave exactly like
+ * a map — including under the deletion patterns the cache uses
+ * (victim erase, bounded-size prune) — because simulated timing
+ * depends on its contents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "common/flat_map.hh"
+
+namespace eve
+{
+namespace
+{
+
+TEST(FlatAddrMap, InsertFindErase)
+{
+    FlatAddrMap m(4);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_FALSE(m.contains(7));
+
+    m.insertOrAssign(7, 100);
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), Tick{100});
+
+    m.insertOrAssign(7, 200);  // overwrite, not duplicate
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(*m.find(7), Tick{200});
+
+    EXPECT_TRUE(m.erase(7));
+    EXPECT_FALSE(m.erase(7));
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(7), nullptr);
+}
+
+TEST(FlatAddrMap, GrowsPastInitialCapacity)
+{
+    FlatAddrMap m(2);
+    for (Addr a = 0; a < 1000; ++a)
+        m.insertOrAssign(a, Tick(a * 3));
+    EXPECT_EQ(m.size(), 1000u);
+    for (Addr a = 0; a < 1000; ++a) {
+        ASSERT_NE(m.find(a), nullptr) << "key " << a;
+        EXPECT_EQ(*m.find(a), Tick(a * 3));
+    }
+}
+
+TEST(FlatAddrMap, BackshiftKeepsProbeChainsIntact)
+{
+    // Unit-stride line numbers are the cache's common case; erase
+    // from the middle of their probe chains and verify every
+    // survivor is still reachable.
+    FlatAddrMap m(8);
+    for (Addr a = 0; a < 64; ++a)
+        m.insertOrAssign(a, Tick(a));
+    for (Addr a = 0; a < 64; a += 3)
+        EXPECT_TRUE(m.erase(a));
+    for (Addr a = 0; a < 64; ++a) {
+        if (a % 3 == 0) {
+            EXPECT_FALSE(m.contains(a)) << "key " << a;
+        } else {
+            ASSERT_NE(m.find(a), nullptr) << "key " << a;
+            EXPECT_EQ(*m.find(a), Tick(a));
+        }
+    }
+}
+
+TEST(FlatAddrMap, EraseIfMatchesMapSemantics)
+{
+    // The cache's bounded-size prune: drop every fill at or before a
+    // cutoff, keep the rest.
+    FlatAddrMap m(16);
+    for (Addr a = 0; a < 100; ++a)
+        m.insertOrAssign(a, Tick(a * 10));
+    m.eraseIf([](Addr, Tick fill) { return fill <= 500; });
+    EXPECT_EQ(m.size(), 49u);  // fills 510..990
+    for (Addr a = 0; a < 100; ++a)
+        EXPECT_EQ(m.contains(a), a * 10 > 500) << "key " << a;
+}
+
+TEST(FlatAddrMap, MinValueBoundNeverExceedsTrueMinimum)
+{
+    // The cache skips a prune outright when the bound proves no entry
+    // can match; the bound may lag low after erases but must never
+    // sit above the true minimum.
+    FlatAddrMap m(8);
+    EXPECT_EQ(m.minValueBound(), ~Tick{0});
+
+    m.insertOrAssign(1, 300);
+    m.insertOrAssign(2, 100);
+    m.insertOrAssign(3, 200);
+    EXPECT_EQ(m.minValueBound(), Tick{100});
+
+    // erase() leaves the bound untouched — still a valid lower bound.
+    m.erase(2);
+    EXPECT_LE(m.minValueBound(), Tick{200});
+
+    // eraseIf() recomputes the exact minimum of the survivors.
+    m.eraseIf([](Addr, Tick t) { return t <= 150; });
+    EXPECT_EQ(m.minValueBound(), Tick{200});
+    m.eraseIf([](Addr, Tick) { return true; });
+    EXPECT_EQ(m.minValueBound(), ~Tick{0});
+
+    m.clear();
+    EXPECT_EQ(m.minValueBound(), ~Tick{0});
+}
+
+TEST(FlatAddrMap, ClearEmptiesButStaysUsable)
+{
+    FlatAddrMap m(4);
+    m.insertOrAssign(1, 10);
+    m.insertOrAssign(2, 20);
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_FALSE(m.contains(1));
+    m.insertOrAssign(3, 30);
+    EXPECT_EQ(*m.find(3), Tick{30});
+}
+
+TEST(FlatAddrMap, RandomizedAgainstStdMap)
+{
+    // Drive both containers with the same operation stream (seeded,
+    // so the test is deterministic) and require identical contents
+    // throughout.
+    std::mt19937_64 rng(12345);
+    FlatAddrMap flat(8);
+    std::map<Addr, Tick> ref;
+    for (int step = 0; step < 20000; ++step) {
+        const Addr key = rng() % 512;
+        switch (rng() % 3) {
+          case 0: {
+            const Tick value = Tick(rng() % 100000);
+            flat.insertOrAssign(key, value);
+            ref[key] = value;
+            break;
+          }
+          case 1:
+            EXPECT_EQ(flat.erase(key), ref.erase(key) > 0);
+            break;
+          default: {
+            const Tick* v = flat.find(key);
+            const auto it = ref.find(key);
+            ASSERT_EQ(v != nullptr, it != ref.end());
+            if (v)
+                EXPECT_EQ(*v, it->second);
+            break;
+          }
+        }
+        if (step % 4096 == 0) {
+            const Tick cutoff = Tick(rng() % 100000);
+            flat.eraseIf(
+                [cutoff](Addr, Tick t) { return t <= cutoff; });
+            for (auto it = ref.begin(); it != ref.end();) {
+                if (it->second <= cutoff)
+                    it = ref.erase(it);
+                else
+                    ++it;
+            }
+        }
+        ASSERT_EQ(flat.size(), ref.size()) << "step " << step;
+        if (!ref.empty()) {
+            Tick true_min = ~Tick{0};
+            for (const auto& [k, v] : ref)
+                true_min = std::min(true_min, v);
+            ASSERT_LE(flat.minValueBound(), true_min)
+                << "step " << step;
+        }
+    }
+    for (const auto& [key, value] : ref) {
+        ASSERT_NE(flat.find(key), nullptr);
+        EXPECT_EQ(*flat.find(key), value);
+    }
+}
+
+} // namespace
+} // namespace eve

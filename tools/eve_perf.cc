@@ -1,0 +1,202 @@
+/**
+ * @file
+ * eve_perf — simulator-performance harness: sim-speed measurement
+ * and the timing-parity guard, over an arbitrary slice of the
+ * Table III grid.
+ *
+ *   eve_perf --small --check tests/golden/timing_parity_small.txt
+ *   eve_perf --iters 3 --json speed.json --baseline-jps 12.5
+ *   eve_perf --systems O3EVE --pf 8 --workloads vvadd --small
+ *
+ * Flags:
+ *   --systems A,B     system kinds (default: all Table III kinds)
+ *   --pf N,M          EVE parallelization factors (default 1..32)
+ *   --workloads a,b   workload names (default: the paper's seven)
+ *   --small           small smoke-test inputs
+ *   --iters N         measurement iterations (default 1)
+ *   --json PATH       write the speed report as JSON
+ *   --baseline-jps X  record speedup vs. a baseline jobs/sec
+ *   --check PATH      timing-parity check against golden PATH
+ *                     (exit 1 and list divergences on failure)
+ *   --update PATH     write fresh golden fingerprints to PATH
+ *   --quiet           suppress the speed table
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "driver/table.hh"
+#include "exp/perf.hh"
+
+using namespace eve;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string& arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+SystemKind
+parseKind(const std::string& name)
+{
+    if (name == "IO") return SystemKind::IO;
+    if (name == "O3") return SystemKind::O3;
+    if (name == "O3IV") return SystemKind::O3IV;
+    if (name == "O3DV") return SystemKind::O3DV;
+    if (name == "O3EVE") return SystemKind::O3EVE;
+    fatal("unknown system kind '%s' (want IO, O3, O3IV, O3DV, or "
+          "O3EVE)", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    setInformEnabled(false);
+
+    std::vector<std::string> system_kinds;
+    std::vector<unsigned> pfs = {1, 2, 4, 8, 16, 32};
+    std::vector<std::string> workloads = exp::paperWorkloads();
+    bool small = false;
+    bool quiet = false;
+    unsigned iters = 1;
+    std::string json_path, check_path, update_path;
+    double baseline_jps = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--systems")
+            system_kinds = splitList(value());
+        else if (arg == "--pf") {
+            pfs.clear();
+            for (const auto& tok : splitList(value()))
+                pfs.push_back(
+                    unsigned(std::strtoul(tok.c_str(), nullptr, 10)));
+        } else if (arg == "--workloads")
+            workloads = splitList(value());
+        else if (arg == "--small")
+            small = true;
+        else if (arg == "--iters")
+            iters = unsigned(std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--json")
+            json_path = value();
+        else if (arg == "--baseline-jps")
+            baseline_jps = std::strtod(value().c_str(), nullptr);
+        else if (arg == "--check")
+            check_path = value();
+        else if (arg == "--update")
+            update_path = value();
+        else if (arg == "--quiet")
+            quiet = true;
+        else
+            fatal("unknown flag '%s' (see the file comment for "
+                  "usage)", arg.c_str());
+    }
+
+    std::vector<SystemConfig> systems;
+    if (system_kinds.empty()) {
+        systems = exp::tableIIISystems();
+    } else {
+        for (const auto& name : system_kinds) {
+            const SystemKind kind = parseKind(name);
+            if (kind == SystemKind::O3EVE) {
+                for (unsigned pf : pfs) {
+                    SystemConfig cfg;
+                    cfg.kind = kind;
+                    cfg.eve_pf = pf;
+                    systems.push_back(cfg);
+                }
+            } else {
+                SystemConfig cfg;
+                cfg.kind = kind;
+                systems.push_back(cfg);
+            }
+        }
+    }
+
+    const std::string scale = small ? "small" : "full";
+    exp::SweepSpec spec;
+    spec.systems(systems);
+    spec.workloads(workloads, small);
+    const auto jobs = spec.jobs();
+
+    const exp::SpeedReport report =
+        exp::measureSimSpeed(jobs, iters);
+
+    if (!quiet) {
+        TextTable table({"system", "jobs", "wall_s", "jobs/s",
+                         "ns/cycle"});
+        for (const auto& ss : report.per_system)
+            table.addRow({ss.system, std::to_string(ss.jobs),
+                          TextTable::num(ss.wall_seconds, 3),
+                          TextTable::num(ss.jobs_per_sec, 2),
+                          TextTable::num(ss.ns_per_sim_cycle, 1)});
+        table.addRow({"total", std::to_string(report.jobs),
+                      TextTable::num(report.wall_seconds, 3),
+                      TextTable::num(report.jobs_per_sec, 2),
+                      TextTable::num(report.ns_per_sim_cycle, 1)});
+        std::printf("%s\n", table.render().c_str());
+        if (baseline_jps > 0)
+            std::printf("speedup vs. baseline (%.2f jobs/s): %.2fx\n",
+                        baseline_jps,
+                        report.jobs_per_sec / baseline_jps);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            fatal("cannot open '%s' for writing", json_path.c_str());
+        out << exp::speedReportJson(report, "custom", baseline_jps)
+            << '\n';
+        if (!out)
+            fatal("write to '%s' failed", json_path.c_str());
+    }
+
+    if (!update_path.empty()) {
+        exp::ParityFile::fromResults(report.results, scale)
+            .save(update_path);
+        std::fprintf(stderr, "parity goldens: %s\n",
+                     update_path.c_str());
+    }
+    if (!check_path.empty()) {
+        const auto diffs = exp::ParityFile::load(check_path).check(
+            report.results, scale);
+        if (!diffs.empty()) {
+            for (const auto& d : diffs)
+                std::fprintf(stderr, "parity: %s\n", d.c_str());
+            fatal("timing parity violated: %zu grid points diverge "
+                  "from %s",
+                  diffs.size(), check_path.c_str());
+        }
+        std::printf("timing parity: %zu grid points byte-identical "
+                    "to %s\n",
+                    report.results.size(), check_path.c_str());
+    }
+    return 0;
+}
