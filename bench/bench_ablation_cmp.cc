@@ -5,9 +5,20 @@
  * share only the LLC and the DRAM channel. This harness measures the
  * slowdown a core suffers when a memory-hungry neighbour runs
  * alongside it, for scalar, DV, and EVE cores.
+ *
+ * Solo runs are ordinary sweep jobs; each co-run is a
+ * custom-executor job (Job::exec calling runCmpPair) whose
+ * Job::variant names the neighbour, so its result-cache key stays
+ * distinct from the solo run of the same configuration. Both kinds
+ * flow through runSweepJobs() — thread-pool (or, with
+ * EVE_EXP_JOBS_DIR, distributed) execution, the EVE_EXP_CACHE_DIR
+ * result cache, and a JSONL artifact. Custom-executor jobs are never
+ * handed to spec-less external workers; the orchestrator's own lanes
+ * run them.
  */
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "bench_util.hh"
 #include "common/log.hh"
@@ -26,43 +37,68 @@ main()
                 "Slowdown of the observed core when a vvadd-streaming "
                 "neighbour co-runs:\n\n");
 
-    TextTable table({"observed core / workload", "solo (ms)",
-                     "co-run (ms)", "slowdown"});
-
     struct Case
     {
         SystemKind kind;
         unsigned pf;
         const char* workload;
     };
-    const Case cases[] = {
+    const std::vector<Case> cases = {
         {SystemKind::O3, 8, "pathfinder"},
         {SystemKind::O3DV, 8, "pathfinder"},
         {SystemKind::O3EVE, 8, "pathfinder"},
         {SystemKind::O3EVE, 8, "vvadd"},
         {SystemKind::O3EVE, 8, "mmult"},
     };
+    const std::string scale = small ? "small" : "full";
 
+    std::vector<exp::Job> jobs;
     for (const Case& c : cases) {
-        SystemConfig observed;
-        observed.kind = c.kind;
-        observed.eve_pf = c.pf;
+        const SystemConfig observed =
+            bench::makeConfig(c.kind, c.pf);
+        const std::string name = c.workload;
 
-        auto solo_w = makeWorkload(c.workload, small);
-        const RunResult solo = runWorkload(observed, *solo_w);
+        exp::Job solo;
+        solo.label = systemName(observed) + "/" + name + "/solo";
+        solo.config = observed;
+        solo.workload = name;
+        solo.scale = scale;
+        solo.make = [name, small] {
+            return makeWorkload(name, small);
+        };
+        jobs.push_back(std::move(solo));
 
-        // Neighbour: an EVE-8 core streaming vvadd.
-        SystemConfig neighbour;
-        neighbour.kind = SystemKind::O3EVE;
-        neighbour.eve_pf = 8;
-        auto noise = makeWorkload("vvadd", small);
-        auto contended_w = makeWorkload(c.workload, small);
-        const auto [noise_r, contended] =
-            runCmpPair(neighbour, *noise, observed, *contended_w);
-        if (contended.mismatches || noise_r.mismatches)
-            fatal("functional failure in CMP pair");
+        exp::Job co;
+        co.label = systemName(observed) + "/" + name + "/co-run";
+        co.config = observed;
+        co.workload = name;
+        co.scale = scale;
+        co.variant = "cmp:neighbour=O3EVE-8/vvadd";
+        co.exec = [name, small](const SystemConfig& obs) {
+            // Neighbour: an EVE-8 core streaming vvadd.
+            const SystemConfig neighbour =
+                bench::makeConfig(SystemKind::O3EVE, 8);
+            auto noise = makeWorkload("vvadd", small);
+            auto w = makeWorkload(name, small);
+            const auto [noise_r, contended] =
+                runCmpPair(neighbour, *noise, obs, *w);
+            if (noise_r.mismatches)
+                throw std::runtime_error(
+                    "CMP neighbour failed functionally");
+            return contended;
+        };
+        jobs.push_back(std::move(co));
+    }
+    const auto results =
+        bench::runSweepJobs(std::move(jobs), "ablation_cmp.jsonl");
 
-        table.addRow({systemName(observed) + " / " + c.workload,
+    TextTable table({"observed core / workload", "solo (ms)",
+                     "co-run (ms)", "slowdown"});
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const RunResult& solo = results[2 * i].result;
+        const RunResult& contended = results[2 * i + 1].result;
+        table.addRow({systemName(results[2 * i].config) + " / " +
+                          cases[i].workload,
                       TextTable::num(solo.seconds * 1e3, 3),
                       TextTable::num(contended.seconds * 1e3, 3),
                       TextTable::num(contended.seconds / solo.seconds,

@@ -4,6 +4,12 @@
  * study behind Figure 7's ld_dt/st_dt categories). pathfinder is the
  * paper's transpose-sensitive workload; EVE-32 needs no transpose
  * and should be insensitive.
+ *
+ * Each (workload, PF) case is its own mini sweep over the DTU axis;
+ * the cases are concatenated into one job list and run through
+ * runSweepJobs() — thread-pool (or, with EVE_EXP_JOBS_DIR,
+ * distributed) execution, the EVE_EXP_CACHE_DIR result cache, and a
+ * JSONL artifact.
  */
 
 #include <cstdio>
@@ -24,38 +30,52 @@ main()
     std::printf("Ablation: DTU count vs. performance "
                 "(speed-up over the 8-DTU baseline)\n\n");
 
-    const unsigned sweeps[] = {1, 2, 4, 8, 16, 32};
-    std::vector<std::string> headers = {"config"};
-    for (unsigned d : sweeps)
-        headers.push_back(std::to_string(d) + " DTUs");
-    TextTable table(headers);
+    const std::vector<unsigned> sweeps = {1, 2, 4, 8, 16, 32};
 
     struct Case
     {
         const char* workload;
         unsigned pf;
     };
-    for (const Case c : {Case{"pathfinder", 8}, Case{"mmult", 4},
-                         Case{"vvadd", 8}, Case{"pathfinder", 32}}) {
+    const std::vector<Case> cases = {{"pathfinder", 8}, {"mmult", 4},
+                                     {"vvadd", 8}, {"pathfinder", 32}};
+
+    std::vector<exp::Job> jobs;
+    for (const Case& c : cases) {
+        exp::SweepSpec spec;
+        spec.system(bench::makeConfig(SystemKind::O3EVE, c.pf))
+            .axis<unsigned>("dtus", sweeps,
+                            [](SystemConfig& cfg, unsigned d) {
+                                cfg.dtus = d;
+                            })
+            .workloads({c.workload}, small);
+        for (auto& job : spec.jobs())
+            jobs.push_back(std::move(job));
+    }
+    const auto results =
+        bench::runSweepJobs(std::move(jobs), "ablation_dtu.jsonl");
+
+    // Each case occupies sweeps.size() consecutive results, in DTU
+    // order; the 8-DTU column is the speed-up baseline.
+    std::vector<std::string> headers = {"config"};
+    for (unsigned d : sweeps)
+        headers.push_back(std::to_string(d) + " DTUs");
+    TextTable table(headers);
+
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
         double base_seconds = 0.0;
-        std::vector<double> seconds;
-        for (unsigned d : sweeps) {
-            SystemConfig cfg;
-            cfg.kind = SystemKind::O3EVE;
-            cfg.eve_pf = c.pf;
-            cfg.dtus = d;
-            auto w = makeWorkload(c.workload, small);
-            const RunResult r = runWorkload(cfg, *w);
-            if (r.mismatches)
-                fatal("%s failed functionally", c.workload);
-            if (d == 8)
-                base_seconds = r.seconds;
-            seconds.push_back(r.seconds);
-        }
+        for (std::size_t di = 0; di < sweeps.size(); ++di)
+            if (sweeps[di] == 8)
+                base_seconds =
+                    results[ci * sweeps.size() + di].result.seconds;
         std::vector<std::string> row = {
-            std::string(c.workload) + " @ EVE-" + std::to_string(c.pf)};
-        for (double s : seconds)
-            row.push_back(TextTable::num(base_seconds / s, 2));
+            std::string(cases[ci].workload) + " @ EVE-" +
+            std::to_string(cases[ci].pf)};
+        for (std::size_t di = 0; di < sweeps.size(); ++di)
+            row.push_back(TextTable::num(
+                base_seconds /
+                    results[ci * sweeps.size() + di].result.seconds,
+                2));
         table.addRow(row);
     }
     std::printf("%s", table.render().c_str());

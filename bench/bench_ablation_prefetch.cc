@@ -6,6 +6,10 @@
  * prefetcher at the LLC converts demand misses into hits for
  * unit-stride vector streams without consuming the VMU's MSHR
  * window; large-stride kernels (backprop) see no benefit.
+ *
+ * The grid runs through runSweep(): thread-pool (or, with
+ * EVE_EXP_JOBS_DIR, distributed) execution, the EVE_EXP_CACHE_DIR
+ * result cache, and a JSONL artifact.
  */
 
 #include <cstdio>
@@ -27,29 +31,36 @@ main()
                 "performance\n(speed-up over the no-prefetch Table "
                 "III baseline)\n\n");
 
-    const unsigned depths[] = {0, 1, 2, 4, 8};
+    const std::vector<unsigned> depths = {0, 1, 2, 4, 8};
+    const std::vector<std::string> names = {"vvadd", "pathfinder",
+                                            "jacobi-2d", "backprop"};
+
+    exp::SweepSpec spec;
+    spec.system(bench::makeConfig(SystemKind::O3EVE, 8))
+        .axis<unsigned>("prefetch", depths,
+                        [](SystemConfig& c, unsigned d) {
+                            c.llc_prefetch_lines = d;
+                        })
+        .workloads(names, small);
+    const auto results =
+        bench::runSweep(spec, "ablation_prefetch.jsonl");
+
+    // Expansion order: depth axis outermost, workloads innermost.
+    auto seconds = [&](std::size_t d, std::size_t w) {
+        return results[d * names.size() + w].result.seconds;
+    };
+
     std::vector<std::string> headers = {"workload"};
     for (unsigned d : depths)
         headers.push_back("N=" + std::to_string(d));
     TextTable table(headers);
 
-    for (const char* wname :
-         {"vvadd", "pathfinder", "jacobi-2d", "backprop"}) {
-        double base_seconds = 0.0;
-        std::vector<std::string> row = {wname};
-        for (unsigned d : depths) {
-            SystemConfig cfg;
-            cfg.kind = SystemKind::O3EVE;
-            cfg.eve_pf = 8;
-            cfg.llc_prefetch_lines = d;
-            auto w = makeWorkload(wname, small);
-            const RunResult r = runWorkload(cfg, *w);
-            if (r.mismatches)
-                fatal("%s failed functionally", wname);
-            if (d == 0)
-                base_seconds = r.seconds;
-            row.push_back(TextTable::num(base_seconds / r.seconds, 2));
-        }
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const double base_seconds = seconds(0, w);
+        std::vector<std::string> row = {names[w]};
+        for (std::size_t d = 0; d < depths.size(); ++d)
+            row.push_back(
+                TextTable::num(base_seconds / seconds(d, w), 2));
         table.addRow(row);
     }
     std::printf("%s\n", table.render().c_str());

@@ -70,28 +70,34 @@ main()
     for (unsigned pf : {1u, 2u, 4u, 8u, 16u, 32u})
         systems.push_back(bench::makeConfig(SystemKind::O3EVE, pf));
 
+    const std::vector<std::string> names = {
+        "vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
+        "backprop", "sw"};
+
+    // The systems × workloads grid runs through runSweep():
+    // thread-pool (or, with EVE_EXP_JOBS_DIR, distributed)
+    // execution, the EVE_EXP_CACHE_DIR result cache, and a JSONL
+    // artifact. Expansion order: systems outermost, workloads
+    // innermost.
+    exp::SweepSpec spec;
+    spec.systems(systems).workloads(names, small);
+    const auto results =
+        bench::runSweep(spec, "table4_speedups.jsonl");
+    auto seconds = [&](std::size_t sys, std::size_t w) {
+        return results[sys * names.size() + w].result.seconds;
+    };
+
     std::vector<std::string> headers = {"name"};
     for (std::size_t i = 1; i < systems.size(); ++i)
         headers.push_back(systemName(systems[i]));
     TextTable speed(headers);
 
-    for (const auto* wname :
-         {"vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
-          "backprop", "sw"}) {
-        double iv_seconds = 0.0;
-        std::vector<std::string> row = {wname};
-        for (std::size_t i = 0; i < systems.size(); ++i) {
-            auto w = makeWorkload(wname, small);
-            const RunResult r = runWorkload(systems[i], *w);
-            if (r.mismatches)
-                fatal("%s failed functionally on %s", wname,
-                      r.system.c_str());
-            if (i == 0) {
-                iv_seconds = r.seconds;
-                continue;
-            }
-            row.push_back(TextTable::num(iv_seconds / r.seconds, 2));
-        }
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const double iv_seconds = seconds(0, w);
+        std::vector<std::string> row = {names[w]};
+        for (std::size_t i = 1; i < systems.size(); ++i)
+            row.push_back(
+                TextTable::num(iv_seconds / seconds(i, w), 2));
         speed.addRow(row);
     }
     std::printf("%s", speed.render().c_str());

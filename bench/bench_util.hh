@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hh"
@@ -123,22 +124,53 @@ writeArtifact(const std::vector<exp::JobResult>& results,
 }
 
 /**
- * The standard harness plumbing in one call: wire up the optional
- * EVE_EXP_CACHE_DIR result cache, run @p spec on the thread pool,
- * die if any job failed, write the JSONL artifact (skipped when
- * @p artifact_name is empty), and hand back the index-ordered
- * results. Every table/figure bench goes through here so cache and
- * artifact behaviour stay uniform.
+ * The standard harness plumbing in one call, over an explicit job
+ * list: reindex the jobs 0..N-1, wire up the optional
+ * EVE_EXP_CACHE_DIR result cache, execute, die if any job failed,
+ * write the JSONL artifact (skipped when @p artifact_name is empty),
+ * and hand back the index-ordered results.
+ *
+ * When EVE_EXP_JOBS_DIR is set the jobs run over the distributed
+ * job-file protocol (exp/dist.hh) under that directory — any
+ * `eve_sweep --worker --jobs-dir DIR` processes sharing it take part
+ * — otherwise on the in-process thread pool. Either way the results
+ * (and the artifact) are byte-identical, so the env var is a pure
+ * deployment decision.
  */
 inline std::vector<exp::JobResult>
-runSweep(const exp::SweepSpec& spec, const std::string& artifact_name)
+runSweepJobs(std::vector<exp::Job> jobs,
+             const std::string& artifact_name)
 {
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        jobs[i].index = i;
     const auto cache = envCache();
-    const auto results = makeRunner(cache.get()).run(spec.jobs());
+    std::vector<exp::JobResult> results;
+    const std::string jobs_dir = exp::envJobsDir();
+    if (!jobs_dir.empty()) {
+        exp::DistOptions dist;
+        dist.jobs_dir = jobs_dir;
+        dist.lanes = exp::envThreads()
+                         ? exp::envThreads()
+                         : std::thread::hardware_concurrency();
+        results = exp::runDistributed(jobs, dist, cache.get());
+    } else {
+        results = makeRunner(cache.get()).run(jobs);
+    }
     requireAllOk(results);
     if (!artifact_name.empty())
         writeArtifact(results, artifact_name);
     return results;
+}
+
+/**
+ * runSweepJobs() over a SweepSpec's expansion. Every table/figure
+ * bench goes through here so cache, artifact, and distributed
+ * behaviour stay uniform.
+ */
+inline std::vector<exp::JobResult>
+runSweep(const exp::SweepSpec& spec, const std::string& artifact_name)
+{
+    return runSweepJobs(spec.jobs(), artifact_name);
 }
 
 } // namespace eve::bench

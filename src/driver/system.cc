@@ -1,5 +1,8 @@
 #include "driver/system.hh"
 
+#include <cstdlib>
+#include <vector>
+
 #include "analytic/circuits.hh"
 #include "common/bits.hh"
 #include "common/log.hh"
@@ -59,6 +62,76 @@ std::uint64_t
 configFingerprint(const SystemConfig& config)
 {
     return fnv1a64(configCanonical(config));
+}
+
+namespace
+{
+
+/** "name=1234" -> value; false on malformed key or number. */
+template <typename T>
+bool
+parseField(const std::string& tok, const char* name, T& out)
+{
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || tok.substr(0, eq) != name)
+        return false;
+    const std::string value = tok.substr(eq + 1);
+    if (value.empty())
+        return false;
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    out = static_cast<T>(v);
+    return static_cast<unsigned long long>(out) == v;
+}
+
+} // namespace
+
+bool
+parseConfigCanonical(const std::string& text, SystemConfig& out)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (const char c : text) {
+        if (c == ';') {
+            toks.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    toks.push_back(cur);
+    if (toks.size() != 7)
+        return false;
+
+    SystemConfig cfg;
+    static const std::string kKindPrefix = "kind=";
+    if (toks[0].rfind(kKindPrefix, 0) != 0)
+        return false;
+    const std::string kind = toks[0].substr(kKindPrefix.size());
+    if (kind == "IO") cfg.kind = SystemKind::IO;
+    else if (kind == "O3") cfg.kind = SystemKind::O3;
+    else if (kind == "O3IV") cfg.kind = SystemKind::O3IV;
+    else if (kind == "O3DV") cfg.kind = SystemKind::O3DV;
+    else if (kind == "O3EVE") cfg.kind = SystemKind::O3EVE;
+    else return false;
+
+    if (!parseField(toks[1], "eve_pf", cfg.eve_pf) ||
+        !parseField(toks[2], "llc_mshrs", cfg.llc_mshrs) ||
+        !parseField(toks[3], "l2_mshrs", cfg.l2_mshrs) ||
+        !parseField(toks[4], "llc_prefetch_lines",
+                    cfg.llc_prefetch_lines) ||
+        !parseField(toks[5], "dtus", cfg.dtus) ||
+        !parseField(toks[6], "spawn_ready", cfg.spawn_ready))
+        return false;
+    // The round trip must be exact: the canonical string is the
+    // configuration's content-addressing identity.
+    if (configCanonical(cfg) != text)
+        return false;
+    out = cfg;
+    return true;
 }
 
 HierarchyParams

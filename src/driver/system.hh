@@ -61,6 +61,17 @@ std::string configCanonical(const SystemConfig& config);
 /** 64-bit FNV-1a fingerprint of configCanonical(). */
 std::uint64_t configFingerprint(const SystemConfig& config);
 
+/**
+ * Strict inverse of configCanonical(): parses "kind=O3EVE;eve_pf=8;
+ * ..." back into a SystemConfig. Every field must appear, in
+ * declaration order, with nothing extra — so text produced by a
+ * binary whose SystemConfig gained or lost a field is rejected
+ * rather than half-applied. Returns false (leaving @p out untouched)
+ * on any deviation. The distributed sweep protocol uses this to let
+ * worker processes rebuild jobs from job files alone.
+ */
+bool parseConfigCanonical(const std::string& text, SystemConfig& out);
+
 /** Result of one (system, workload) simulation. */
 struct RunResult
 {

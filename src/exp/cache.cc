@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bits.hh"
+#include "common/fs.hh"
 #include "common/log.hh"
 #include "driver/system.hh"
 #include "exp/sink.hh"
@@ -18,8 +19,15 @@ namespace eve::exp
 std::string
 jobKeyMaterial(const Job& job, const std::string& salt)
 {
-    return configCanonical(job.config) + "|workload=" + job.workload +
-           "|scale=" + job.scale + "|salt=" + salt;
+    std::string material = configCanonical(job.config) +
+                           "|workload=" + job.workload +
+                           "|scale=" + job.scale + "|salt=" + salt;
+    // Non-standard executions (Job::exec) append their variant tag;
+    // the default empty variant leaves the material — and therefore
+    // every previously stored key — unchanged.
+    if (!job.variant.empty())
+        material += "|variant=" + job.variant;
+    return material;
 }
 
 std::string
@@ -475,17 +483,24 @@ ResultCache::store(const Job& job, const JobResult& r)
     if (ec)
         fatal("result cache: cannot create '%s': %s", dir.c_str(),
               ec.message().c_str());
-    std::ofstream out(filePath(), std::ios::app);
-    if (!out)
-        fatal("result cache: cannot open '%s' for append",
-              filePath().c_str());
     std::string record = resultToJson(r, /*include_host_time=*/true);
-    out << "{\"key\":\"" << key << "\",\"record\":" << record
-        << "}\n";
-    out.flush();
-    if (!out)
-        fatal("result cache: write to '%s' failed",
-              filePath().c_str());
+    const std::string line =
+        "{\"key\":\"" + key + "\",\"record\":" + record + "}\n";
+    {
+        // Serialize appends across processes (an orchestrator and a
+        // bench sharing EVE_EXP_CACHE_DIR): one flock'd single write
+        // per entry, so lines never interleave.
+        FileLock lock(dir + "/cache.lock");
+        std::ofstream out(filePath(), std::ios::app);
+        if (!out)
+            fatal("result cache: cannot open '%s' for append",
+                  filePath().c_str());
+        out << line;
+        out.flush();
+        if (!out)
+            fatal("result cache: write to '%s' failed",
+                  filePath().c_str());
+    }
     entries[key] = std::move(record);
     ++stored_count;
 }

@@ -4,8 +4,9 @@
  *
  * Every Job has a stable content key: a 64-bit FNV-1a hash over the
  * canonicalized SystemConfig (configCanonical — every field, in
- * declaration order), the workload name, the input-scale tag, and a
- * simulator-version salt. The ResultCache maps keys to previously
+ * declaration order), the workload name, the input-scale tag, a
+ * simulator-version salt, and — only for custom-executor jobs — a
+ * variant tag (Job::variant). The ResultCache maps keys to previously
  * recorded JSONL result records; the Runner consults it before
  * executing a job and stores fresh Ok results after the run, so a
  * resumed or incrementally edited sweep re-runs only the grid points
@@ -33,7 +34,9 @@
  *
  * The file is append-only; on load, later entries win. Unparseable
  * lines are skipped with a warning (a truncated final line from a
- * killed run must not poison the rest of the cache).
+ * killed run must not poison the rest of the cache). Appends are
+ * serialized across processes by an flock(2) on <dir>/cache.lock, so
+ * several processes may safely share one cache directory.
  */
 
 #ifndef EVE_EXP_CACHE_HH

@@ -7,6 +7,8 @@
  *   EVE_EXP_THREADS    worker count (default: hardware concurrency)
  *   EVE_EXP_OUT_DIR    directory for JSONL/CSV artifacts (default ".")
  *   EVE_EXP_CACHE_DIR  result-cache directory (unset = caching off)
+ *   EVE_EXP_JOBS_DIR   distributed-sweep jobs directory (unset =
+ *                      in-process execution; see exp/dist.hh)
  */
 
 #ifndef EVE_EXP_EXP_HH
@@ -16,6 +18,7 @@
 #include <string>
 
 #include "exp/cache.hh"
+#include "exp/dist.hh"
 #include "exp/runner.hh"
 #include "exp/sink.hh"
 #include "exp/sweep.hh"
@@ -39,6 +42,14 @@ inline std::string
 envCacheDir()
 {
     const char* env = std::getenv("EVE_EXP_CACHE_DIR");
+    return (env && env[0]) ? env : "";
+}
+
+/** Distributed jobs directory from EVE_EXP_JOBS_DIR ("" = off). */
+inline std::string
+envJobsDir()
+{
+    const char* env = std::getenv("EVE_EXP_JOBS_DIR");
     return (env && env[0]) ? env : "";
 }
 

@@ -46,12 +46,8 @@ Runner::run(const SweepSpec& spec) const
     return run(spec.jobs());
 }
 
-namespace
-{
-
-/** Execute one job, converting every failure mode into the status. */
 void
-executeJob(const Job& job, JobResult& out)
+runJob(const Job& job, JobResult& out)
 {
     out.index = job.index;
     out.label = job.label;
@@ -61,11 +57,15 @@ executeJob(const Job& job, JobResult& out)
 
     const auto start = std::chrono::steady_clock::now();
     try {
-        std::unique_ptr<Workload> workload = job.make();
-        if (!workload)
-            throw std::runtime_error("unknown workload '" +
-                                     job.workload + "'");
-        out.result = runWorkload(job.config, *workload);
+        if (job.exec) {
+            out.result = job.exec(job.config);
+        } else {
+            std::unique_ptr<Workload> workload = job.make();
+            if (!workload)
+                throw std::runtime_error("unknown workload '" +
+                                         job.workload + "'");
+            out.result = runWorkload(job.config, *workload);
+        }
         out.status = out.result.mismatches ? JobStatus::Mismatch
                                            : JobStatus::Ok;
     } catch (const std::exception& e) {
@@ -80,8 +80,6 @@ executeJob(const Job& job, JobResult& out)
                                       start)
             .count();
 }
-
-} // namespace
 
 std::vector<JobResult>
 Runner::run(const std::vector<Job>& jobs) const
@@ -135,7 +133,7 @@ Runner::run(const std::vector<Job>& jobs) const
                 if (p >= pending.size())
                     return;
                 const std::size_t i = pending[p];
-                executeJob(jobs[i], results[i]);
+                runJob(jobs[i], results[i]);
                 if (results[i].status == JobStatus::Failed &&
                     opts.on_failure == FailurePolicy::Abort) {
                     stop.store(true, std::memory_order_release);

@@ -114,6 +114,15 @@ class Runner
 std::size_t countStatus(const std::vector<JobResult>& results,
                         JobStatus status);
 
+/**
+ * The job-execution core shared by the thread-pool Runner and the
+ * distributed worker loop (exp/dist.hh): copy the job's identity
+ * into @p out, build and run its workload (or its custom executor),
+ * and fold every failure mode into JobStatus — a throwing job
+ * becomes Failed with the exception text, never a crash.
+ */
+void runJob(const Job& job, JobResult& out);
+
 } // namespace eve::exp
 
 #endif // EVE_EXP_RUNNER_HH

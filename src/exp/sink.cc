@@ -1,11 +1,11 @@
 #include "exp/sink.hh"
 
-#include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
 
+#include "common/fs.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
 
@@ -170,30 +170,23 @@ CsvSink::render() const
 
 void
 writeJsonLines(const std::vector<JobResult>& results,
-               const std::string& path)
+               const std::string& path, bool include_host_time)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open '%s' for writing", path.c_str());
-    JsonLinesSink sink(out);
-    for (const auto& r : results)
-        sink.write(r);
-    if (!out)
-        fatal("write to '%s' failed", path.c_str());
+    std::string content;
+    for (const auto& r : results) {
+        content += resultToJson(r, include_host_time);
+        content += '\n';
+    }
+    atomicWriteFile(path, content);
 }
 
 void
 writeCsv(const std::vector<JobResult>& results, const std::string& path)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open '%s' for writing", path.c_str());
     CsvSink sink;
     for (const auto& r : results)
         sink.write(r);
-    out << sink.render();
-    if (!out)
-        fatal("write to '%s' failed", path.c_str());
+    atomicWriteFile(path, sink.render());
 }
 
 } // namespace eve::exp

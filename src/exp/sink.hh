@@ -72,11 +72,23 @@ class CsvSink : public ResultSink
     std::vector<JobResult> rows;
 };
 
-/** Serialize @p results as JSON lines to @p path (fatal on I/O error). */
+/**
+ * Serialize @p results as JSON lines to @p path (fatal on I/O
+ * error). The file is written whole via fsync-and-rename
+ * (common/fs.hh), so a writer killed mid-flush leaves either the
+ * previous artifact or the complete new one — never a torn final
+ * line that could poison a resumed sweep. @p include_host_time=false
+ * drops the nondeterministic "wall_s" field, making the artifact
+ * byte-comparable across runs, thread counts, and hosts.
+ */
 void writeJsonLines(const std::vector<JobResult>& results,
-                    const std::string& path);
+                    const std::string& path,
+                    bool include_host_time = true);
 
-/** Serialize @p results as CSV to @p path (fatal on I/O error). */
+/**
+ * Serialize @p results as CSV to @p path (fatal on I/O error).
+ * Atomic like writeJsonLines().
+ */
 void writeCsv(const std::vector<JobResult>& results,
               const std::string& path);
 

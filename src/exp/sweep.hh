@@ -68,6 +68,25 @@ struct Job
 
     /** (axis name, point label) in axis-declaration order. */
     std::vector<std::pair<std::string, std::string>> axes;
+
+    /**
+     * Optional custom executor replacing the standard
+     * runWorkload(config, *make()) path — for jobs whose measurement
+     * is not a single solo run (e.g. the CMP co-execution pairs).
+     * Jobs with an executor are only ever run by a process holding
+     * the in-memory Job (never rebuilt by spec-less remote workers),
+     * and @ref variant must name the measurement so result-cache
+     * keys stay distinct from the solo run of the same config.
+     */
+    std::function<RunResult(const SystemConfig&)> exec;
+
+    /**
+     * Extra content-key material for non-standard executions; empty
+     * (the default, and mandatory when @ref exec is unset) leaves
+     * the key identical to the pre-variant scheme, so existing
+     * caches stay valid.
+     */
+    std::string variant;
 };
 
 /** Declarative cartesian sweep over configs, axes, and workloads. */

@@ -114,9 +114,15 @@ main(int argc, char** argv)
             update_path = value();
         else if (arg == "--quiet")
             quiet = true;
-        else
-            fatal("unknown flag '%s' (see the file comment for "
-                  "usage)", arg.c_str());
+        else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: eve_perf [--systems LIST] [--pf LIST]\n"
+                "  [--workloads LIST] [--small] [--iters N]\n"
+                "  [--json PATH] [--baseline-jps X]\n"
+                "  [--check GOLDEN | --update GOLDEN] [--quiet]\n");
+            return 0;
+        } else
+            fatal("unknown flag '%s' (try --help)", arg.c_str());
     }
 
     std::vector<SystemConfig> systems;

@@ -8,6 +8,13 @@
  *             --llc-mshrs 32,64 --threads 8 --small
  *             --json out.jsonl --csv out.csv
  *
+ * With --jobs-dir the same sweep runs over the distributed job-file
+ * protocol (exp/dist.hh): the orchestrator materializes claim files
+ * under the directory and executes through in-process lanes, while
+ * any number of `eve_sweep --worker --jobs-dir DIR` processes — on
+ * this host or on others sharing the directory — claim and run jobs
+ * alongside it.
+ *
  * Flags:
  *   --systems   IO,O3,O3IV,O3DV,O3EVE   (default O3EVE)
  *   --pf        EVE parallelization factors     (axis)
@@ -20,6 +27,8 @@
  *   --small     use small smoke-test inputs
  *   --keep-going / --abort-on-failure  failure policy (default keep)
  *   --json PATH write JSON lines        --csv PATH write CSV
+ *   --json-payload PATH  write JSON lines without the host wall-clock
+ *               field; byte-comparable across runs/hosts/thread counts
  *   --cache-dir PATH  content-hash result cache: jobs whose key
  *               (canonical config + workload + scale + simulator
  *               salt) is already stored are not re-simulated, and
@@ -28,12 +37,28 @@
  *               JSONL. Defaults to $EVE_EXP_CACHE_DIR when set.
  *   --no-cache  disable the result cache (overrides both)
  *   --quiet     suppress progress lines
+ *
+ * Distributed flags (see docs/OPERATIONS.md):
+ *   --jobs-dir DIR   run the sweep over the job-file protocol under
+ *               DIR. Defaults to $EVE_EXP_JOBS_DIR when set.
+ *   --worker    claim-and-execute loop over --jobs-dir; needs no
+ *               sweep flags (jobs are rebuilt from their files)
+ *   --status    print the jobs directory's state and exit (0 when
+ *               the sweep is complete, 1 otherwise)
+ *   --stop      ask every worker on --jobs-dir to exit, then exit
+ *   --orchestrate-only  orchestrate with zero local execution lanes
+ *               (claim files + reclaim + merge only)
+ *   --worker-id ID      stable lease identity (default <host>-<pid>)
+ *   --lease-timeout SEC seconds before an unrenewed lease is
+ *               reclaimed (default 60)
+ *   --max-attempts N    claims per job before quarantine (default 3)
  */
 
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hh"
@@ -82,6 +107,17 @@ splitUnsigned(const std::string& flag, const std::string& arg)
     return out;
 }
 
+double
+parseSeconds(const std::string& flag, const std::string& arg)
+{
+    char* end = nullptr;
+    const double v = std::strtod(arg.c_str(), &end);
+    if (!end || *end != '\0' || v <= 0)
+        fatal("%s: '%s' is not a positive number", flag.c_str(),
+              arg.c_str());
+    return v;
+}
+
 SystemKind
 parseKind(const std::string& name)
 {
@@ -108,13 +144,19 @@ main(int argc, char** argv)
     std::vector<std::string> systems = {"O3EVE"};
     std::vector<std::string> workloads = kAllWorkloads;
     std::vector<unsigned> pfs, llc_mshrs, l2_mshrs, dtus, prefetch;
-    std::string json_path, csv_path;
+    std::string json_path, csv_path, payload_path;
     std::string cache_dir = exp::envCacheDir();
     bool no_cache = false;
     exp::RunnerOptions opts;
     opts.threads = exp::envThreads();
     bool small = false;
     bool quiet = false;
+
+    exp::DistOptions dist;
+    dist.jobs_dir = exp::envJobsDir();
+    enum class Mode { Sweep, Worker, Status, Stop };
+    Mode mode = Mode::Sweep;
+    bool orchestrate_only = false;
 
     auto need = [&](int i) -> std::string {
         if (i + 1 >= argc)
@@ -142,6 +184,8 @@ main(int argc, char** argv)
             opts.threads = splitUnsigned(flag, need(i)).front(); ++i;
         } else if (flag == "--json") {
             json_path = need(i); ++i;
+        } else if (flag == "--json-payload") {
+            payload_path = need(i); ++i;
         } else if (flag == "--csv") {
             csv_path = need(i); ++i;
         } else if (flag == "--cache-dir") {
@@ -156,20 +200,86 @@ main(int argc, char** argv)
             opts.on_failure = exp::FailurePolicy::Record;
         } else if (flag == "--abort-on-failure") {
             opts.on_failure = exp::FailurePolicy::Abort;
+        } else if (flag == "--jobs-dir") {
+            dist.jobs_dir = need(i); ++i;
+        } else if (flag == "--worker") {
+            mode = Mode::Worker;
+        } else if (flag == "--status") {
+            mode = Mode::Status;
+        } else if (flag == "--stop") {
+            mode = Mode::Stop;
+        } else if (flag == "--orchestrate-only") {
+            orchestrate_only = true;
+        } else if (flag == "--worker-id") {
+            dist.worker_id = need(i); ++i;
+        } else if (flag == "--lease-timeout") {
+            dist.lease_timeout_s = parseSeconds(flag, need(i)); ++i;
+        } else if (flag == "--max-attempts") {
+            dist.max_attempts =
+                splitUnsigned(flag, need(i)).front(); ++i;
         } else if (flag == "--help" || flag == "-h") {
             std::printf(
                 "usage: eve_sweep [--systems LIST] [--pf LIST]\n"
                 "  [--llc-mshrs LIST] [--l2-mshrs LIST] [--dtus LIST]\n"
                 "  [--prefetch LIST] [--workloads LIST] [--threads N]\n"
                 "  [--small] [--keep-going|--abort-on-failure]\n"
-                "  [--json PATH] [--csv PATH]\n"
-                "  [--cache-dir PATH] [--no-cache] [--quiet]\n");
+                "  [--json PATH] [--json-payload PATH] [--csv PATH]\n"
+                "  [--cache-dir PATH] [--no-cache] [--quiet]\n"
+                "  [--jobs-dir DIR [--orchestrate-only]\n"
+                "   [--lease-timeout SEC] [--max-attempts N]]\n"
+                "       eve_sweep --worker --jobs-dir DIR\n"
+                "  [--worker-id ID] [--lease-timeout SEC]\n"
+                "  [--max-attempts N] [--quiet]\n"
+                "       eve_sweep --status --jobs-dir DIR\n"
+                "       eve_sweep --stop --jobs-dir DIR\n");
             return 0;
         } else {
             fatal("unknown flag '%s' (try --help)", flag.c_str());
         }
     }
 
+    // ---- distributed utility modes (no sweep construction) ----
+    if (mode == Mode::Status) {
+        if (dist.jobs_dir.empty())
+            fatal("--status needs --jobs-dir (or $EVE_EXP_JOBS_DIR)");
+        const exp::JobsDir jd(dist);
+        const exp::DistStatus s = jd.status();
+        std::printf("%s\n", exp::formatDistStatus(s).c_str());
+        return s.complete() ? 0 : 1;
+    }
+    if (mode == Mode::Stop) {
+        if (dist.jobs_dir.empty())
+            fatal("--stop needs --jobs-dir (or $EVE_EXP_JOBS_DIR)");
+        exp::JobsDir jd(dist);
+        jd.requestStop();
+        std::printf("stop requested in %s\n", dist.jobs_dir.c_str());
+        return 0;
+    }
+    if (mode == Mode::Worker) {
+        if (dist.jobs_dir.empty())
+            fatal("--worker needs --jobs-dir (or $EVE_EXP_JOBS_DIR)");
+        if (!quiet) {
+            dist.progress = [](const exp::JobResult& r,
+                               std::size_t done, std::size_t) {
+                std::fprintf(stderr, "[worker:%zu] %-40s %s (%.2fs)\n",
+                             done, r.label.c_str(),
+                             exp::jobStatusName(r.status),
+                             r.wall_seconds);
+            };
+        }
+        const exp::WorkerReport report = exp::runDistWorker(dist);
+        if (!quiet)
+            std::fprintf(stderr,
+                         "worker: %zu executed, %zu reclaimed, %zu "
+                         "quarantined, %zu refused%s%s\n",
+                         report.executed, report.reclaimed,
+                         report.quarantined, report.unrebuildable,
+                         report.stopped ? " (stopped)" : "",
+                         report.joined ? "" : " (never joined)");
+        return report.joined ? 0 : 1;
+    }
+
+    // ---- sweep construction (in-process or orchestrated) ----
     exp::SweepSpec spec;
     for (const auto& name : systems) {
         SystemConfig cfg;
@@ -222,12 +332,29 @@ main(int argc, char** argv)
         opts.cache = cache.get();
     }
 
-    const exp::Runner runner(opts);
     const auto jobs = spec.jobs();
-    if (!quiet)
-        std::fprintf(stderr, "%zu jobs on %u threads\n", jobs.size(),
-                     runner.effectiveThreads(jobs.size()));
-    const auto results = runner.run(jobs);
+    std::vector<exp::JobResult> results;
+    if (!dist.jobs_dir.empty()) {
+        dist.lanes = orchestrate_only
+                         ? 0
+                         : (opts.threads
+                                ? opts.threads
+                                : std::thread::hardware_concurrency());
+        dist.progress = opts.progress;
+        if (!quiet)
+            std::fprintf(stderr,
+                         "%zu jobs via %s (%u local lanes)\n",
+                         jobs.size(), dist.jobs_dir.c_str(),
+                         dist.lanes);
+        results = exp::runDistributed(jobs, dist, opts.cache);
+    } else {
+        const exp::Runner runner(opts);
+        if (!quiet)
+            std::fprintf(stderr, "%zu jobs on %u threads\n",
+                         jobs.size(),
+                         runner.effectiveThreads(jobs.size()));
+        results = runner.run(jobs);
+    }
 
     TextTable table({"job", "status", "cycles", "sim s", "wall s"});
     for (const auto& r : results) {
@@ -240,6 +367,9 @@ main(int argc, char** argv)
 
     if (!json_path.empty())
         exp::writeJsonLines(results, json_path);
+    if (!payload_path.empty())
+        exp::writeJsonLines(results, payload_path,
+                            /*include_host_time=*/false);
     if (!csv_path.empty())
         exp::writeCsv(results, csv_path);
 
