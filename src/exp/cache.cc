@@ -9,6 +9,7 @@
 
 #include "common/bits.hh"
 #include "common/fs.hh"
+#include "common/json.hh"
 #include "common/log.hh"
 #include "driver/system.hh"
 #include "exp/sink.hh"
@@ -43,249 +44,6 @@ jobKey(const Job& job, const std::string& salt)
 namespace
 {
 
-/**
- * Minimal JSON value/parser pair, sized for resultToJson records.
- * Object members keep insertion order so axes survive round trips.
- */
-struct JsonValue
-{
-    enum class Type { Null, Bool, Number, String, Object, Array };
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0;
-    std::string text;
-    std::vector<std::pair<std::string, JsonValue>> members;
-    std::vector<JsonValue> elements;
-
-    const JsonValue*
-    find(const std::string& key) const
-    {
-        for (const auto& [k, v] : members) {
-            if (k == key)
-                return &v;
-        }
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    /** @p text must outlive the parser (strtod needs the NUL). */
-    explicit JsonParser(const std::string& text)
-        : p(text.c_str()), end(text.c_str() + text.size())
-    {
-    }
-
-    bool
-    parse(JsonValue& out)
-    {
-        skipWs();
-        if (!parseValue(out))
-            return false;
-        skipWs();
-        return p == end;
-    }
-
-  private:
-    const char* p;
-    const char* end;
-
-    void
-    skipWs()
-    {
-        while (p != end &&
-               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
-            ++p;
-    }
-
-    bool
-    literal(const char* s, std::size_t n)
-    {
-        if (std::size_t(end - p) < n)
-            return false;
-        for (std::size_t i = 0; i < n; ++i) {
-            if (p[i] != s[i])
-                return false;
-        }
-        p += n;
-        return true;
-    }
-
-    bool
-    parseValue(JsonValue& out)
-    {
-        if (p == end)
-            return false;
-        switch (*p) {
-          case '{': return parseObject(out);
-          case '[': return parseArray(out);
-          case '"':
-            out.type = JsonValue::Type::String;
-            return parseString(out.text);
-          case 't':
-            out.type = JsonValue::Type::Bool;
-            out.boolean = true;
-            return literal("true", 4);
-          case 'f':
-            out.type = JsonValue::Type::Bool;
-            out.boolean = false;
-            return literal("false", 5);
-          case 'n':
-            out.type = JsonValue::Type::Null;
-            return literal("null", 4);
-          default:
-            out.type = JsonValue::Type::Number;
-            return parseNumber(out.number);
-        }
-    }
-
-    bool
-    parseNumber(double& out)
-    {
-        char* num_end = nullptr;
-        out = std::strtod(p, &num_end);
-        if (num_end == p || num_end > end)
-            return false;
-        p = num_end;
-        return true;
-    }
-
-    bool
-    parseString(std::string& out)
-    {
-        if (p == end || *p != '"')
-            return false;
-        ++p;
-        out.clear();
-        while (p != end && *p != '"') {
-            if (*p != '\\') {
-                out += *p++;
-                continue;
-            }
-            if (++p == end)
-                return false;
-            switch (*p) {
-              case '"': out += '"'; break;
-              case '\\': out += '\\'; break;
-              case '/': out += '/'; break;
-              case 'b': out += '\b'; break;
-              case 'f': out += '\f'; break;
-              case 'n': out += '\n'; break;
-              case 'r': out += '\r'; break;
-              case 't': out += '\t'; break;
-              case 'u': {
-                if (end - p < 5)
-                    return false;
-                unsigned code = 0;
-                for (int i = 1; i <= 4; ++i) {
-                    const char c = p[i];
-                    code <<= 4;
-                    if (c >= '0' && c <= '9')
-                        code |= unsigned(c - '0');
-                    else if (c >= 'a' && c <= 'f')
-                        code |= unsigned(c - 'a' + 10);
-                    else if (c >= 'A' && c <= 'F')
-                        code |= unsigned(c - 'A' + 10);
-                    else
-                        return false;
-                }
-                // jsonEscape only emits \u00xx control characters;
-                // encode anything else as UTF-8 for completeness.
-                if (code < 0x80) {
-                    out += char(code);
-                } else if (code < 0x800) {
-                    out += char(0xc0 | (code >> 6));
-                    out += char(0x80 | (code & 0x3f));
-                } else {
-                    out += char(0xe0 | (code >> 12));
-                    out += char(0x80 | ((code >> 6) & 0x3f));
-                    out += char(0x80 | (code & 0x3f));
-                }
-                p += 4;
-                break;
-              }
-              default: return false;
-            }
-            ++p;
-        }
-        if (p == end)
-            return false;
-        ++p; // closing quote
-        return true;
-    }
-
-    bool
-    parseObject(JsonValue& out)
-    {
-        out.type = JsonValue::Type::Object;
-        ++p; // '{'
-        skipWs();
-        if (p != end && *p == '}') {
-            ++p;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            std::string key;
-            if (!parseString(key))
-                return false;
-            skipWs();
-            if (p == end || *p != ':')
-                return false;
-            ++p;
-            skipWs();
-            JsonValue value;
-            if (!parseValue(value))
-                return false;
-            out.members.emplace_back(std::move(key), std::move(value));
-            skipWs();
-            if (p == end)
-                return false;
-            if (*p == ',') {
-                ++p;
-                continue;
-            }
-            if (*p == '}') {
-                ++p;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    parseArray(JsonValue& out)
-    {
-        out.type = JsonValue::Type::Array;
-        ++p; // '['
-        skipWs();
-        if (p != end && *p == ']') {
-            ++p;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            JsonValue value;
-            if (!parseValue(value))
-                return false;
-            out.elements.push_back(std::move(value));
-            skipWs();
-            if (p == end)
-                return false;
-            if (*p == ',') {
-                ++p;
-                continue;
-            }
-            if (*p == ']') {
-                ++p;
-                return true;
-            }
-            return false;
-        }
-    }
-};
-
 bool
 statusFromName(const std::string& name, JobStatus& out)
 {
@@ -301,9 +59,7 @@ statusFromName(const std::string& name, JobStatus& out)
 double
 numberField(const JsonValue& obj, const char* key, double fallback = 0)
 {
-    const JsonValue* v = obj.find(key);
-    return v && v->type == JsonValue::Type::Number ? v->number
-                                                   : fallback;
+    return jsonNumberField(obj, key, fallback);
 }
 
 } // namespace
@@ -312,8 +68,7 @@ bool
 parseResultJson(const std::string& json, JobResult& out)
 {
     JsonValue root;
-    JsonParser parser(json);
-    if (!parser.parse(root) || root.type != JsonValue::Type::Object)
+    if (!parseJson(json, root) || !root.isObject())
         return false;
     const JsonValue* status = root.find("status");
     if (!status || status->type != JsonValue::Type::String)
@@ -463,11 +218,17 @@ ResultCache::lookup(const Job& job, JobResult& out) const
         return false; // treat a corrupt record as a miss
     // Payload from the record, identity from the live job (an edited
     // sweep may have shifted indices or renamed axis labels).
+    adoptPayload(out, std::move(restored));
     out.status = JobStatus::Cached;
     out.error.clear();
-    out.wall_seconds = restored.wall_seconds;
-    out.result = std::move(restored.result);
     return true;
+}
+
+const std::string*
+ResultCache::recordText(const std::string& key) const
+{
+    const auto it = entries.find(key);
+    return it == entries.end() ? nullptr : &it->second;
 }
 
 void
@@ -478,12 +239,31 @@ ResultCache::store(const Job& job, const JobResult& r)
     const std::string key = jobKey(job, salt);
     if (entries.count(key))
         return;
+    append(key, resultToJson(r, /*include_host_time=*/true));
+}
+
+bool
+ResultCache::storeRecord(const std::string& key,
+                         const std::string& record)
+{
+    JobResult parsed;
+    if (key.size() != 16 || !parseResultJson(record, parsed) ||
+        parsed.status != JobStatus::Ok)
+        return false; // only verified-Ok records may enter the cache
+    if (entries.count(key))
+        return false;
+    append(key, record);
+    return true;
+}
+
+void
+ResultCache::append(const std::string& key, std::string record)
+{
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec)
         fatal("result cache: cannot create '%s': %s", dir.c_str(),
               ec.message().c_str());
-    std::string record = resultToJson(r, /*include_host_time=*/true);
     const std::string line =
         "{\"key\":\"" + key + "\",\"record\":" + record + "}\n";
     {

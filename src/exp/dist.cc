@@ -1,6 +1,7 @@
 #include "exp/dist.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -104,7 +105,28 @@ lineValue(const std::string& line, const char* key, std::string& out)
     return true;
 }
 
+/** Process-wide cooperative stop flag (set from signal handlers). */
+std::atomic<bool> worker_stop{false};
+
 } // namespace
+
+void
+requestWorkerStop()
+{
+    worker_stop.store(true, std::memory_order_relaxed);
+}
+
+bool
+workerStopRequested()
+{
+    return worker_stop.load(std::memory_order_relaxed);
+}
+
+void
+clearWorkerStop()
+{
+    worker_stop.store(false, std::memory_order_relaxed);
+}
 
 std::string
 distJobText(const DistJob& job)
@@ -302,36 +324,95 @@ JobsDir::materialize(const std::vector<Job>& jobs)
                opts.jobs_dir.c_str(), created, jobs.size());
 }
 
+void
+JobsDir::appendPoolJobs(const std::vector<DistJob>& jobs,
+                        std::size_t pool_total)
+{
+    makeDirs(pendingDir());
+    makeDirs(claimedDir());
+    makeDirs(leaseDir());
+    makeDirs(doneDir());
+    makeDirs(failedDir());
+    makeDirs(quarantineDir());
+    makeDirs(poolDir());
+
+    for (const auto& dist : jobs) {
+        const std::string name = jobName(dist.index);
+        const std::string file = name + ".job";
+        // Authoritative pool copy first: result files carry no job
+        // key, so pool/ is the durable index -> key map a restarted
+        // daemon rebuilds its in-memory pool from.
+        if (!fileExists(poolDir() + "/" + file))
+            atomicWriteFile(poolDir() + "/" + file,
+                            distJobText(dist));
+        // Resume-safe exactly like materialize(): a job already in
+        // any protocol state is left alone.
+        if (fileExists(pendingDir() + "/" + file) ||
+            fileExists(claimedDir() + "/" + file) ||
+            fileExists(doneDir() + "/" + name + ".json") ||
+            fileExists(failedDir() + "/" + name + ".json") ||
+            fileExists(quarantineDir() + "/" + file))
+            continue;
+        atomicWriteFile(pendingDir() + "/" + file, distJobText(dist));
+    }
+
+    // A pool manifest carries the running pool size and the sentinel
+    // grid "pool": workers join on version+salt alone, while a batch
+    // orchestrator's materialize() refuses the directory (no batch
+    // grid ever fingerprints to "pool").
+    std::string text;
+    text += "version=" + std::string(kDistProtocolVersion) + "\n";
+    text += "salt=" + std::string(kSimulatorSalt) + "\n";
+    text += "total=" + std::to_string(pool_total) + "\n";
+    text += "grid=pool\n";
+    text += "mode=pool\n";
+    atomicWriteFile(manifestPath(), text);
+}
+
+bool
+JobsDir::readManifestInfo(ManifestInfo& out) const
+{
+    std::string text;
+    if (!readFile(manifestPath(), text))
+        return false;
+    ManifestInfo info;
+    info.mode = "sweep"; // pre-pool manifests carry no mode line
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::string v;
+        if (lineValue(line, "version", v)) info.version = v;
+        else if (lineValue(line, "salt", v)) info.salt = v;
+        else if (lineValue(line, "total", v))
+            info.total = std::strtoull(v.c_str(), nullptr, 10);
+        else if (lineValue(line, "grid", v)) info.grid = v;
+        else if (lineValue(line, "mode", v)) info.mode = v;
+    }
+    out = std::move(info);
+    return true;
+}
+
 DistStatus
 JobsDir::manifest() const
 {
     DistStatus s;
-    std::string text;
-    if (!readFile(manifestPath(), text))
+    ManifestInfo info;
+    if (!readManifestInfo(info))
         return s;
-    std::istringstream is(text);
-    std::string line;
-    std::string version, salt, total;
-    while (std::getline(is, line)) {
-        std::string v;
-        if (lineValue(line, "version", v)) version = v;
-        else if (lineValue(line, "salt", v)) salt = v;
-        else if (lineValue(line, "total", v)) total = v;
-    }
-    if (version != kDistProtocolVersion) {
-        if (!version.empty())
+    if (info.version != kDistProtocolVersion) {
+        if (!info.version.empty())
             warn("jobs dir %s: protocol '%s' != '%s'; ignoring "
-                 "manifest", opts.jobs_dir.c_str(), version.c_str(),
-                 kDistProtocolVersion);
+                 "manifest", opts.jobs_dir.c_str(),
+                 info.version.c_str(), kDistProtocolVersion);
         return s;
     }
-    if (salt != kSimulatorSalt) {
+    if (info.salt != kSimulatorSalt) {
         warn("jobs dir %s: simulator salt '%s' != this binary's "
              "'%s'; ignoring manifest", opts.jobs_dir.c_str(),
-             salt.c_str(), kSimulatorSalt);
+             info.salt.c_str(), kSimulatorSalt);
         return s;
     }
-    s.total = std::strtoull(total.c_str(), nullptr, 10);
+    s.total = info.total;
     return s;
 }
 
@@ -625,10 +706,7 @@ JobsDir::merge(const std::vector<Job>& jobs) const
             if (parseResultJson(text, parsed)) {
                 // Payload from the record, identity from the job —
                 // the same split the result cache uses.
-                out.status = parsed.status;
-                out.error = parsed.error;
-                out.wall_seconds = parsed.wall_seconds;
-                out.result = std::move(parsed.result);
+                adoptPayload(out, std::move(parsed));
                 continue;
             }
             out.status = JobStatus::Failed;
@@ -667,7 +745,7 @@ runDistWorker(const DistOptions& opts,
     // first, e.g. across a fleet of hosts).
     const auto join_start = std::chrono::steady_clock::now();
     while (dir.manifest().total == 0) {
-        if (dir.stopRequested()) {
+        if (dir.stopRequested() || workerStopRequested()) {
             report.stopped = true;
             return report;
         }
@@ -687,9 +765,10 @@ runDistWorker(const DistOptions& opts,
     std::vector<std::string> unrebuildable;
     std::mutex progress_mutex;
     std::size_t local_done = 0;
+    auto last_claim = std::chrono::steady_clock::now();
 
     while (true) {
-        if (dir.stopRequested()) {
+        if (dir.stopRequested() || workerStopRequested()) {
             report.stopped = true;
             return report;
         }
@@ -698,21 +777,32 @@ runDistWorker(const DistOptions& opts,
 
         DistJob dist;
         if (!dir.claimNext(dist, unrebuildable)) {
-            const DistStatus s = dir.status();
-            if (s.complete())
-                return report;
-            if (s.claimed == 0 && !unrebuildable.empty() &&
-                s.pending <= unrebuildable.size()) {
-                // Everything left is refused by this worker; leave
-                // it for a compatible one.
-                warn("worker %s: %zu job(s) not rebuildable by this "
-                     "binary; exiting", dir.workerId().c_str(),
-                     unrebuildable.size());
+            if (!opts.persistent) {
+                const DistStatus s = dir.status();
+                if (s.complete())
+                    return report;
+                if (s.claimed == 0 && !unrebuildable.empty() &&
+                    s.pending <= unrebuildable.size()) {
+                    // Everything left is refused by this worker;
+                    // leave it for a compatible one.
+                    warn("worker %s: %zu job(s) not rebuildable by "
+                         "this binary; exiting",
+                         dir.workerId().c_str(),
+                         unrebuildable.size());
+                    return report;
+                }
+            }
+            if (opts.idle_exit_s > 0 &&
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - last_claim)
+                        .count() >= opts.idle_exit_s) {
+                report.idled = true;
                 return report;
             }
             sleepFor(dir.options().poll_s);
             continue;
         }
+        last_claim = std::chrono::steady_clock::now();
 
         // Resolve the claim to a runnable Job: in-memory first
         // (orchestrator lanes and bench harnesses hold the real

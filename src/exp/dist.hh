@@ -112,6 +112,23 @@ struct DistOptions
     unsigned max_attempts = 3;
 
     /**
+     * Persistent (service-pool) worker: never exit because the
+     * directory looks complete — a pool grows as new sweeps are
+     * submitted, so "complete" is a momentary state, not the end.
+     * Such a worker exits only on the stop marker, the cooperative
+     * stop flag (requestWorkerStop), or @ref idle_exit_s.
+     */
+    bool persistent = false;
+
+    /**
+     * Self-retirement: exit after this long without a successful
+     * claim (0 = never). The sweep service's elastic scale-down is
+     * exactly this — idle workers retire themselves, and the daemon
+     * spawns replacements when queue depth grows again.
+     */
+    double idle_exit_s = 0;
+
+    /**
      * Orchestrator-side in-process execution lanes. 0 = coordinate
      * only (reclaim, wait, merge) and execute nothing locally.
      */
@@ -171,6 +188,27 @@ struct DistStatus
 /** One-line human-readable rendering of @p s. */
 std::string formatDistStatus(const DistStatus& s);
 
+/** The manifest's raw identification fields, for skew diagnosis. */
+struct ManifestInfo
+{
+    std::string version; ///< protocol version the dir was built under
+    std::string salt;    ///< simulator salt the dir was built under
+    std::string grid;    ///< grid fingerprint, or "pool"
+    std::string mode;    ///< "sweep" (batch) or "pool" (service)
+    std::size_t total = 0;
+};
+
+/**
+ * Cooperative process-wide stop for worker loops, settable from a
+ * signal handler (a relaxed atomic store, async-signal-safe). A
+ * worker that observes it finishes and publishes its in-flight job,
+ * releases nothing mid-protocol, and returns with stopped=true —
+ * Ctrl-C costs nothing instead of a lease timeout.
+ */
+void requestWorkerStop();
+bool workerStopRequested();
+void clearWorkerStop();
+
 /**
  * Protocol handle over one jobs directory. Each concurrent actor
  * (worker process, orchestrator lane) uses its own JobsDir; a single
@@ -198,8 +236,24 @@ class JobsDir
      */
     void materialize(const std::vector<Job>& jobs);
 
+    /**
+     * Service-pool materialization: append @p jobs (daemon-assigned
+     * pool indices) to a *growing* multi-sweep pool. Each job gets an
+     * authoritative copy under pool/ — the durable index -> key map a
+     * restarted daemon recovers from — plus a pending/ claim file
+     * unless it is already in some protocol state. The manifest is
+     * rewritten with mode=pool and the running pool total; workers
+     * join it exactly like a batch directory, but a batch
+     * orchestrator's materialize() refuses it (grid mismatch).
+     */
+    void appendPoolJobs(const std::vector<DistJob>& jobs,
+                        std::size_t pool_total);
+
     /** The manifest, parsed; total == 0 when absent/unreadable. */
     DistStatus manifest() const;
+
+    /** Raw manifest fields; false when absent/unreadable. */
+    bool readManifestInfo(ManifestInfo& out) const;
 
     /** Scan every state directory and count. */
     DistStatus status() const;
@@ -269,6 +323,7 @@ class JobsDir
     {
         return opts.jobs_dir + "/quarantine";
     }
+    std::string poolDir() const { return opts.jobs_dir + "/pool"; }
     std::string manifestPath() const
     {
         return opts.jobs_dir + "/manifest.txt";
@@ -314,7 +369,8 @@ struct WorkerReport
     std::size_t reclaimed = 0;    ///< lease-expiry transitions
     std::size_t quarantined = 0;  ///< partial files quarantined
     std::size_t unrebuildable = 0;///< claims refused (key mismatch…)
-    bool stopped = false;         ///< exited on the stop marker
+    bool stopped = false;         ///< exited on stop marker/flag
+    bool idled = false;           ///< self-retired after idle_exit_s
     bool joined = true;           ///< manifest appeared in time
 };
 

@@ -164,6 +164,15 @@ Runner::run(const std::vector<Job>& jobs) const
     return results;
 }
 
+void
+adoptPayload(JobResult& out, JobResult&& record)
+{
+    out.status = record.status;
+    out.error = std::move(record.error);
+    out.wall_seconds = record.wall_seconds;
+    out.result = std::move(record.result);
+}
+
 std::size_t
 countStatus(const std::vector<JobResult>& results, JobStatus status)
 {

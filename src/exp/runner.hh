@@ -123,6 +123,17 @@ std::size_t countStatus(const std::vector<JobResult>& results,
  */
 void runJob(const Job& job, JobResult& out);
 
+/**
+ * Copy the *payload* half of @p record — status, error text, host
+ * wall clock, and the RunResult — into @p out, leaving the identity
+ * half (index, label, workload, config, axes) untouched. This is the
+ * one splice point shared by every result-replay path (cache lookup,
+ * distributed merge, service streaming): payload from the stored
+ * record, identity from the live job, so replayed results re-serialize
+ * byte-identically while following any relabelling of the sweep.
+ */
+void adoptPayload(JobResult& out, JobResult&& record);
+
 } // namespace eve::exp
 
 #endif // EVE_EXP_RUNNER_HH

@@ -1,0 +1,251 @@
+#include "svc/client.hh"
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "driver/system.hh"
+#include "exp/cache.hh"
+#include "exp/dist.hh"
+#include "svc/net.hh"
+#include "svc/proto.hh"
+#include "workloads/workload.hh"
+
+namespace eve::svc
+{
+
+namespace
+{
+
+/** Identity half of a result, copied from the in-memory job. */
+exp::JobResult
+identityOf(const exp::Job& job)
+{
+    exp::JobResult r;
+    r.index = job.index;
+    r.label = job.label;
+    r.workload = job.workload;
+    r.config = job.config;
+    r.axes = job.axes;
+    return r;
+}
+
+} // namespace
+
+SweepOutcome
+submitSweep(const std::vector<exp::Job>& jobs,
+            const ClientOptions& opts)
+{
+    SweepOutcome outcome;
+    outcome.results.reserve(jobs.size());
+
+    SubmitRequest req;
+    req.sweep = opts.sweep;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const exp::Job& job = jobs[i];
+        // Same eligibility rule remote workers enforce: the daemon
+        // can only run jobs rebuildable from their serialized form.
+        const bool eligible =
+            !job.exec &&
+            (job.scale == "small" || job.scale == "full") &&
+            makeWorkload(job.workload, job.scale == "small") !=
+                nullptr;
+        if (!eligible) {
+            outcome.error = "job \"" + job.label +
+                            "\" is not service-eligible (custom "
+                            "executor or nonstandard scale); run it "
+                            "with a local sweep instead";
+            return outcome;
+        }
+        exp::DistJob dj;
+        dj.index = i; // sweep-local position, the streaming index
+        dj.key = exp::jobKey(job);
+        dj.label = job.label;
+        dj.workload = job.workload;
+        dj.scale = job.scale;
+        dj.config = configCanonical(job.config);
+        dj.remote = true;
+        req.jobs.push_back(std::move(dj));
+        outcome.results.push_back(identityOf(job));
+    }
+    const std::string submit_line = makeSubmit(req);
+    const std::size_t total = jobs.size();
+    std::vector<bool> received(total, false);
+    std::size_t done = 0;
+
+    for (unsigned attempt = 0; attempt < opts.max_attempts;
+         ++attempt) {
+        Conn conn = connectTo(opts.socket_path,
+                              opts.connect_timeout_s);
+        if (!conn.valid()) {
+            outcome.error = "cannot connect to sweep daemon at " +
+                            opts.socket_path;
+            return outcome;
+        }
+        if (!conn.writeLine(submit_line))
+            continue; // daemon vanished between connect and write
+
+        std::string line;
+        if (!conn.readLine(line, opts.result_timeout_s))
+            continue;
+        JsonValue msg;
+        std::string verb;
+        if (!parseMessage(line, msg, verb)) {
+            outcome.error = "malformed daemon reply: " + line;
+            return outcome;
+        }
+        if (verb == "error") {
+            // Refusals (salt/version skew, draining, ineligible
+            // jobs) are deterministic; retrying would not help.
+            outcome.error = jsonStringField(msg, "message",
+                                            "submission refused");
+            return outcome;
+        }
+        if (verb != "accepted") {
+            outcome.error = "unexpected daemon reply: " + line;
+            return outcome;
+        }
+        outcome.cached = std::size_t(jsonNumberField(msg, "cached"));
+        outcome.shared = std::size_t(jsonNumberField(msg, "shared"));
+        outcome.fresh = std::size_t(jsonNumberField(msg, "fresh"));
+
+        // Stream until sweep-done; a dropped line or connection
+        // reconnects and resubmits (idempotent on the daemon side).
+        bool lost = false;
+        while (!lost) {
+            if (!conn.readLine(line, opts.result_timeout_s)) {
+                lost = true;
+                break;
+            }
+            if (!parseMessage(line, msg, verb)) {
+                outcome.error = "malformed daemon reply: " + line;
+                return outcome;
+            }
+            if (verb == "result") {
+                const std::size_t index =
+                    std::size_t(jsonNumberField(msg, "index"));
+                std::string record;
+                if (index >= total ||
+                    !extractRecord(line, record)) {
+                    outcome.error =
+                        "malformed result message: " + line;
+                    return outcome;
+                }
+                exp::JobResult payload;
+                if (!exp::parseResultJson(record, payload)) {
+                    outcome.error =
+                        "unparseable result record: " + record;
+                    return outcome;
+                }
+                // Duplicates are expected across resubmits; the
+                // record bytes are identical either way.
+                exp::adoptPayload(outcome.results[index],
+                                  std::move(payload));
+                if (!received[index]) {
+                    received[index] = true;
+                    ++done;
+                    if (opts.progress)
+                        opts.progress(outcome.results[index], done,
+                                      total);
+                }
+            } else if (verb == "sweep-done") {
+                outcome.ok = true;
+                return outcome;
+            } else if (verb == "error") {
+                outcome.error = jsonStringField(msg, "message",
+                                                "daemon error");
+                return outcome;
+            }
+            // Other verbs (stray status lines) are ignored.
+        }
+        if (lost && attempt + 1 < opts.max_attempts)
+            warn("sweep client: connection lost (%zu/%zu results); "
+                 "reconnecting",
+                 done, total);
+    }
+    outcome.error = "connection to " + opts.socket_path +
+                    " lost repeatedly; received " +
+                    std::to_string(done) + "/" +
+                    std::to_string(total) + " results";
+    return outcome;
+}
+
+ServerHello
+helloServer(const std::string& socket_path, double timeout_s)
+{
+    ServerHello hello;
+    Conn conn = connectTo(socket_path, timeout_s);
+    if (!conn.valid()) {
+        hello.error = "cannot connect to " + socket_path;
+        return hello;
+    }
+    std::string line;
+    if (!conn.writeLine(makeVerb("hello")) ||
+        !conn.readLine(line, timeout_s)) {
+        hello.error = "no hello reply from " + socket_path;
+        return hello;
+    }
+    JsonValue msg;
+    std::string verb;
+    if (!parseMessage(line, msg, verb) || verb != "hello") {
+        hello.error = "unexpected hello reply: " + line;
+        return hello;
+    }
+    hello.ok = true;
+    hello.service = jsonStringField(msg, "service");
+    hello.protocol = jsonStringField(msg, "protocol");
+    hello.salt = jsonStringField(msg, "salt");
+    hello.version = jsonStringField(msg, "version");
+    return hello;
+}
+
+bool
+statusServer(const std::string& socket_path, double timeout_s,
+             std::string& out_json)
+{
+    Conn conn = connectTo(socket_path, timeout_s);
+    if (!conn.valid())
+        return false;
+    return conn.writeLine(makeVerb("status")) &&
+           conn.readLine(out_json, timeout_s);
+}
+
+bool
+shutdownServer(const std::string& socket_path, double timeout_s)
+{
+    Conn conn = connectTo(socket_path, timeout_s);
+    if (!conn.valid())
+        return false;
+    std::string line;
+    if (!conn.writeLine(makeVerb("shutdown")) ||
+        !conn.readLine(line, timeout_s))
+        return false;
+    JsonValue msg;
+    std::string verb;
+    return parseMessage(line, msg, verb) && verb == "ok";
+}
+
+bool
+watchServer(const std::string& socket_path, double interval_s,
+            const std::function<bool(const std::string&)>& sink,
+            double timeout_s)
+{
+    Conn conn = connectTo(socket_path, timeout_s);
+    if (!conn.valid())
+        return false;
+    if (!conn.writeLine("{\"verb\":\"watch\",\"interval_s\":" +
+                        std::to_string(interval_s) + "}"))
+        return false;
+    std::string line;
+    // Poll in short slices so a false-returning sink (e.g. a signal
+    // flag) stops the watch promptly even when the daemon is quiet.
+    while (true) {
+        const ReadResult rr = conn.readLineEx(line, 0.2);
+        if (rr == ReadResult::Closed)
+            return true;
+        if (rr == ReadResult::Line && !sink(line))
+            return true;
+        if (rr == ReadResult::Timeout && !sink(""))
+            return true;
+    }
+}
+
+} // namespace eve::svc

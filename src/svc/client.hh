@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Client side of the sweep service.
+ *
+ * submitSweep() turns a vector of in-memory Jobs into a service
+ * submission, streams results back as they complete, and splices each
+ * record's payload onto the local job identity (adoptPayload) — the
+ * same byte-exact round trip the batch orchestrator's merge uses, so
+ * writing the returned results through writeJsonLines produces output
+ * byte-identical to a single-host run.
+ *
+ * The connection is disposable: if it drops mid-stream, the client
+ * reconnects and resubmits the identical sweep. Submission is
+ * idempotent on the daemon side (jobs are keyed by content), so a
+ * resubmit costs nothing — already-completed jobs replay instantly
+ * and in-flight ones keep running across the gap.
+ */
+
+#ifndef EVE_SVC_CLIENT_HH
+#define EVE_SVC_CLIENT_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+
+namespace eve::svc
+{
+
+struct ClientOptions
+{
+    /** Daemon socket path. */
+    std::string socket_path;
+
+    /** Sweep name sent with the submission (diagnostics only). */
+    std::string sweep = "sweep";
+
+    /** Seconds to keep retrying the initial/re-connect. */
+    double connect_timeout_s = 10;
+
+    /** Max silence while awaiting a result before reconnecting. */
+    double result_timeout_s = 600;
+
+    /** Reconnect-and-resubmit attempts before giving up. */
+    unsigned max_attempts = 5;
+
+    /** Per received result; done/total are sweep-local counts. */
+    exp::ProgressFn progress;
+};
+
+/** What a submission produced. */
+struct SweepOutcome
+{
+    bool ok = false;      ///< sweep-done received
+    std::string error;    ///< refusal / connectivity diagnosis
+    std::size_t cached = 0; ///< jobs served from the daemon's cache
+    std::size_t shared = 0; ///< jobs deduplicated against the pool
+    std::size_t fresh = 0;  ///< jobs newly pooled by this submission
+    std::vector<exp::JobResult> results; ///< sweep order
+};
+
+/**
+ * Submit @p jobs to the daemon at @p opts.socket_path and collect
+ * every result. Jobs must be service-eligible (standard-scale library
+ * workloads without custom executors — the same rebuildability rule
+ * remote workers enforce); an ineligible job fails the call before
+ * anything is sent.
+ */
+SweepOutcome submitSweep(const std::vector<exp::Job>& jobs,
+                         const ClientOptions& opts);
+
+/** A daemon's hello reply, parsed. */
+struct ServerHello
+{
+    bool ok = false;
+    std::string error;
+    std::string service;
+    std::string protocol;
+    std::string salt;
+    std::string version;
+};
+
+/** Ask the daemon to identify itself. */
+ServerHello helloServer(const std::string& socket_path,
+                        double timeout_s = 5);
+
+/** One status snapshot (raw JSON line); false on any failure. */
+bool statusServer(const std::string& socket_path, double timeout_s,
+                  std::string& out_json);
+
+/** Request a graceful drain; true when the daemon acknowledged. */
+bool shutdownServer(const std::string& socket_path,
+                    double timeout_s = 5);
+
+/**
+ * Stream status snapshots every @p interval_s, invoking @p sink per
+ * line until it returns false or the daemon goes away. While the
+ * daemon is quiet, @p sink is also called with an empty string a few
+ * times a second so it can poll a stop condition (e.g. a SIGINT
+ * flag). Returns false only when the initial connection failed.
+ */
+bool watchServer(const std::string& socket_path, double interval_s,
+                 const std::function<bool(const std::string&)>& sink,
+                 double timeout_s = 5);
+
+} // namespace eve::svc
+
+#endif // EVE_SVC_CLIENT_HH

@@ -1,0 +1,202 @@
+#include "svc/net.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace eve::svc
+{
+
+namespace
+{
+
+/** Fill a sockaddr_un; false when @p path exceeds sun_path. */
+bool
+makeAddr(const std::string& path, sockaddr_un& addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+Conn&
+Conn::operator=(Conn&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        buf = std::move(other.buf);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Conn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf.clear();
+}
+
+bool
+Conn::writeLine(const std::string& line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string out = line;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = ::send(fd_, out.data() + sent,
+                                 out.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += std::size_t(n);
+    }
+    return true;
+}
+
+bool
+Conn::readLine(std::string& out, double timeout_s)
+{
+    return readLineEx(out, timeout_s) == ReadResult::Line;
+}
+
+ReadResult
+Conn::readLineEx(std::string& out, double timeout_s)
+{
+    if (fd_ < 0)
+        return ReadResult::Closed;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_s);
+    while (true) {
+        const std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            out = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            return ReadResult::Line;
+        }
+        if (timeout_s > 0) {
+            const double left =
+                std::chrono::duration<double>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                return ReadResult::Timeout;
+            pollfd pfd = {fd_, POLLIN, 0};
+            const int pr = ::poll(&pfd, 1, int(left * 1000) + 1);
+            if (pr < 0 && errno != EINTR)
+                return ReadResult::Closed;
+            if (pr <= 0)
+                continue;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadResult::Closed;
+        }
+        if (n == 0)
+            return ReadResult::Closed; // EOF, no complete line left
+        buf.append(chunk, std::size_t(n));
+    }
+}
+
+bool
+ListenSocket::bind(const std::string& path, std::string* err)
+{
+    close();
+    sockaddr_un addr;
+    if (!makeAddr(path, addr)) {
+        if (err)
+            *err = "socket path empty or too long (max ~100 chars): " +
+                   path;
+        return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (err)
+            *err = std::strerror(errno);
+        return false;
+    }
+    ::unlink(path.c_str()); // daemons own their socket path
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd_, 64) != 0) {
+        if (err)
+            *err = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    path_ = path;
+    return true;
+}
+
+Conn
+ListenSocket::accept(double timeout_s)
+{
+    if (fd_ < 0)
+        return Conn();
+    pollfd pfd = {fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, int(timeout_s * 1000) + 1);
+    if (pr <= 0)
+        return Conn();
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    return Conn(cfd);
+}
+
+void
+ListenSocket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (!path_.empty()) {
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+Conn
+connectTo(const std::string& path, double timeout_s)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, addr))
+        return Conn();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_s);
+    while (true) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd >= 0 &&
+            ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0)
+            return Conn(fd);
+        if (fd >= 0)
+            ::close(fd);
+        if (std::chrono::steady_clock::now() >= deadline)
+            return Conn();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+} // namespace eve::svc

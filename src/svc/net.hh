@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Local-socket primitives for the sweep service.
+ *
+ * The service speaks newline-delimited JSON over a Unix-domain
+ * stream socket, so everything here is a thin RAII layer over
+ * socket(2)/bind/listen/accept/connect plus a buffered line reader.
+ * Writes use MSG_NOSIGNAL: a client that disappears mid-stream
+ * surfaces as a false return, never a SIGPIPE.
+ */
+
+#ifndef EVE_SVC_NET_HH
+#define EVE_SVC_NET_HH
+
+#include <string>
+
+namespace eve::svc
+{
+
+/** Outcome of one timed line read. */
+enum class ReadResult
+{
+    Line,    ///< a complete line was returned
+    Timeout, ///< no complete line within the timeout; peer still up
+    Closed,  ///< EOF or a socket error; the connection is dead
+};
+
+/** One connected stream socket (client side or accepted side). */
+class Conn
+{
+  public:
+    Conn() = default;
+    explicit Conn(int fd) : fd_(fd) {}
+    ~Conn() { close(); }
+
+    Conn(Conn&& other) noexcept : fd_(other.fd_), buf(std::move(other.buf))
+    {
+        other.fd_ = -1;
+    }
+    Conn& operator=(Conn&& other) noexcept;
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /**
+     * Write all of @p line plus a trailing newline. Returns false on
+     * any error (peer gone, EPIPE suppressed via MSG_NOSIGNAL).
+     */
+    bool writeLine(const std::string& line);
+
+    /**
+     * Read one newline-terminated line (newline stripped) into
+     * @p out. Blocks up to @p timeout_s (<= 0 = forever). Returns
+     * false on EOF, error, or timeout.
+     */
+    bool readLine(std::string& out, double timeout_s = 0);
+
+    /**
+     * As readLine(), but distinguishes a quiet peer (Timeout — the
+     * caller's poll loop goes round again) from a dead one (Closed).
+     * Server session loops need the distinction; simple clients
+     * don't.
+     */
+    ReadResult readLineEx(std::string& out, double timeout_s = 0);
+
+  private:
+    int fd_ = -1;
+    std::string buf; ///< bytes read past the last returned line
+};
+
+/** Bound + listening Unix-domain socket. */
+class ListenSocket
+{
+  public:
+    ListenSocket() = default;
+    ~ListenSocket() { close(); }
+
+    ListenSocket(const ListenSocket&) = delete;
+    ListenSocket& operator=(const ListenSocket&) = delete;
+
+    /**
+     * Bind to @p path (an existing socket file is unlinked first —
+     * daemons own their socket path) and listen. Returns false with
+     * @p err set on failure.
+     */
+    bool bind(const std::string& path, std::string* err);
+
+    /**
+     * Accept one connection, waiting up to @p timeout_s. Returns an
+     * invalid Conn on timeout or error (the caller's poll loop just
+     * goes round again).
+     */
+    Conn accept(double timeout_s);
+
+    bool valid() const { return fd_ >= 0; }
+    const std::string& path() const { return path_; }
+
+    /** Close and unlink the socket path. */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/**
+ * Connect to the Unix socket at @p path, retrying every ~50 ms until
+ * @p timeout_s elapses (a daemon may still be binding, or may be
+ * restarting). Returns an invalid Conn on timeout.
+ */
+Conn connectTo(const std::string& path, double timeout_s);
+
+} // namespace eve::svc
+
+#endif // EVE_SVC_NET_HH

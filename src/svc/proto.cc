@@ -1,0 +1,138 @@
+#include "svc/proto.hh"
+
+#include "common/stats.hh"
+#include "common/version.hh"
+#include "exp/cache.hh"
+
+namespace eve::svc
+{
+
+namespace
+{
+
+std::string
+quoted(const std::string& s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+} // namespace
+
+std::string
+makeVerb(const std::string& verb)
+{
+    return "{\"verb\":" + quoted(verb) + "}";
+}
+
+std::string
+makeError(const std::string& message)
+{
+    return "{\"verb\":\"error\",\"message\":" + quoted(message) + "}";
+}
+
+std::string
+makeHello()
+{
+    return std::string("{\"verb\":\"hello\",\"service\":") +
+           quoted(kSvcServiceName) +
+           ",\"protocol\":" + quoted(kSvcProtocolVersion) +
+           ",\"salt\":" + quoted(exp::kSimulatorSalt) +
+           ",\"version\":" + quoted(kEveVersion) + "}";
+}
+
+std::string
+makeSubmit(const SubmitRequest& req)
+{
+    std::string out = "{\"verb\":\"submit\",\"sweep\":" +
+                      quoted(req.sweep) +
+                      ",\"protocol\":" + quoted(kSvcProtocolVersion) +
+                      ",\"salt\":" + quoted(exp::kSimulatorSalt) +
+                      ",\"version\":" + quoted(kEveVersion) +
+                      ",\"jobs\":[";
+    bool first = true;
+    for (const auto& job : req.jobs) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"index\":" + std::to_string(job.index) +
+               ",\"key\":" + quoted(job.key) +
+               ",\"label\":" + quoted(job.label) +
+               ",\"workload\":" + quoted(job.workload) +
+               ",\"scale\":" + quoted(job.scale) +
+               ",\"config\":" + quoted(job.config) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+makeResult(std::size_t index, std::size_t done, std::size_t total,
+           const std::string& record)
+{
+    return "{\"verb\":\"result\",\"index\":" + std::to_string(index) +
+           ",\"done\":" + std::to_string(done) +
+           ",\"total\":" + std::to_string(total) +
+           ",\"record\":" + record + "}";
+}
+
+bool
+parseMessage(const std::string& line, JsonValue& out, std::string& verb)
+{
+    if (!parseJson(line, out) || !out.isObject())
+        return false;
+    verb = jsonStringField(out, "verb");
+    return !verb.empty();
+}
+
+bool
+parseSubmit(const JsonValue& msg, SubmitRequest& out)
+{
+    SubmitRequest req;
+    req.sweep = jsonStringField(msg, "sweep");
+    req.protocol = jsonStringField(msg, "protocol");
+    req.salt = jsonStringField(msg, "salt");
+    req.version = jsonStringField(msg, "version");
+    const JsonValue* jobs = msg.find("jobs");
+    if (!jobs || !jobs->isArray())
+        return false;
+    req.jobs.reserve(jobs->elements.size());
+    for (const auto& j : jobs->elements) {
+        if (!j.isObject())
+            return false;
+        exp::DistJob job;
+        job.index = std::size_t(jsonNumberField(j, "index"));
+        job.key = jsonStringField(j, "key");
+        job.label = jsonStringField(j, "label");
+        job.workload = jsonStringField(j, "workload");
+        job.scale = jsonStringField(j, "scale");
+        job.config = jsonStringField(j, "config");
+        // Pool jobs are always rebuilt from files by spec-less
+        // workers; the daemon verifies rebuildability at accept time.
+        job.remote = true;
+        if (job.key.size() != 16 || job.workload.empty() ||
+            job.config.empty())
+            return false;
+        req.jobs.push_back(std::move(job));
+    }
+    out = std::move(req);
+    return true;
+}
+
+bool
+extractRecord(const std::string& line, std::string& record)
+{
+    // The record is always the last member of a "result" message, so
+    // its raw bytes run from after `"record":` to the closing brace.
+    static const std::string kMarker = "\"record\":";
+    const std::size_t begin = line.find(kMarker);
+    if (begin == std::string::npos || line.empty() ||
+        line.back() != '}')
+        return false;
+    const std::size_t from = begin + kMarker.size();
+    if (from >= line.size() - 1)
+        return false;
+    record = line.substr(from, line.size() - 1 - from);
+    return true;
+}
+
+} // namespace eve::svc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Wire protocol of the sweep service.
+ *
+ * Newline-delimited JSON over a local stream socket: every message
+ * is one JSON object on one line with a "verb" member, so the
+ * framing is HTTP-friendly (a gateway can lift verbs onto routes)
+ * and `nc -U` is a usable debugging client.
+ *
+ * Client -> daemon requests:
+ *
+ *   {"verb":"hello"}
+ *   {"verb":"status"}                       one metrics snapshot
+ *   {"verb":"watch","interval_s":1}         metrics stream until EOF
+ *   {"verb":"shutdown"}                     begin graceful drain
+ *   {"verb":"submit","sweep":"<name>",
+ *    "protocol":"eve-svc-v1","salt":"<kSimulatorSalt>",
+ *    "version":"<kEveVersion>",
+ *    "jobs":[{"index":0,"key":"<16 hex>","label":"...",
+ *             "workload":"vvadd","scale":"small",
+ *             "config":"<configCanonical>"}, ...]}
+ *
+ * Daemon -> client replies:
+ *
+ *   {"verb":"hello","service":"eve-sweep-svc","protocol":...,
+ *    "salt":...,"version":...}
+ *   {"verb":"error","message":"..."}        request refused
+ *   {"verb":"accepted","sweep":...,"total":N,"cached":C,"shared":S,
+ *    "fresh":F}                             submit acknowledged
+ *   {"verb":"result","index":I,"done":D,"total":N,"record":{...}}
+ *   {"verb":"sweep-done","ok":K,"failed":F,"total":N}
+ *   {"verb":"status", ...metrics fields... }
+ *   {"verb":"ok"}                           shutdown acknowledged
+ *
+ * "result" messages carry the *original* resultToJson record bytes
+ * (from the worker's published file or the result cache), embedded
+ * raw — the daemon never re-serializes payloads, so the client's
+ * merged output is byte-identical to a single-host batch run by
+ * construction. A submission whose protocol or salt differs from
+ * the daemon's is refused before any job is pooled; the refusal
+ * message names both sides, and the hello verb exposes the daemon's
+ * identity so skew is diagnosable without submitting at all.
+ */
+
+#ifndef EVE_SVC_PROTO_HH
+#define EVE_SVC_PROTO_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "exp/dist.hh"
+
+namespace eve::svc
+{
+
+/** Bumped whenever the wire protocol changes incompatibly. */
+inline constexpr const char* kSvcProtocolVersion = "eve-svc-v1";
+
+/** Service name stamped into hello replies. */
+inline constexpr const char* kSvcServiceName = "eve-sweep-svc";
+
+/** A parsed submit request. */
+struct SubmitRequest
+{
+    std::string sweep;    ///< client-chosen sweep name (diagnostics)
+    std::string protocol; ///< client's kSvcProtocolVersion
+    std::string salt;     ///< client's kSimulatorSalt
+    std::string version;  ///< client's kEveVersion
+    std::vector<exp::DistJob> jobs; ///< sweep-local indices
+};
+
+/** {"verb":"<verb>"} with no other members. */
+std::string makeVerb(const std::string& verb);
+
+/** {"verb":"error","message":...}. */
+std::string makeError(const std::string& message);
+
+/** {"verb":"hello",...} with this binary's identity. */
+std::string makeHello();
+
+/** Serialize a submit request (jobs keep their sweep-local index). */
+std::string makeSubmit(const SubmitRequest& req);
+
+/** {"verb":"result",...} embedding @p record raw. */
+std::string makeResult(std::size_t index, std::size_t done,
+                       std::size_t total, const std::string& record);
+
+/**
+ * Parse one wire line. Returns false on malformed JSON or a missing
+ * verb; otherwise @p out holds the object and @p verb its verb.
+ */
+bool parseMessage(const std::string& line, JsonValue& out,
+                  std::string& verb);
+
+/** Parse the members of a "submit" message; false when malformed. */
+bool parseSubmit(const JsonValue& msg, SubmitRequest& out);
+
+/**
+ * Extract the raw record bytes embedded in a "result" message —
+ * everything between `"record":` and the message's closing brace,
+ * verbatim, so the byte-identity of stored records survives the
+ * trip. Returns false when the member is absent.
+ */
+bool extractRecord(const std::string& line, std::string& record);
+
+} // namespace eve::svc
+
+#endif // EVE_SVC_PROTO_HH
