@@ -10,7 +10,7 @@
  * custom-executor job (Job::exec calling runCmpPair) whose
  * Job::variant names the neighbour, so its result-cache key stays
  * distinct from the solo run of the same configuration. Both kinds
- * flow through runSweepJobs() — thread-pool (or, with
+ * flow through runSweep() — thread-pool (or, with
  * EVE_EXP_JOBS_DIR, distributed) execution, the EVE_EXP_CACHE_DIR
  * result cache, and a JSONL artifact. Custom-executor jobs are never
  * handed to spec-less external workers; the orchestrator's own lanes
@@ -89,8 +89,9 @@ main()
         };
         jobs.push_back(std::move(co));
     }
-    const auto results =
-        bench::runSweepJobs(std::move(jobs), "ablation_cmp.jsonl");
+    bench::SweepOptions opts;
+    opts.artifact = "ablation_cmp.jsonl";
+    const auto results = bench::runSweep(std::move(jobs), opts);
 
     TextTable table({"observed core / workload", "solo (ms)",
                      "co-run (ms)", "slowdown"});

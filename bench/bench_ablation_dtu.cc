@@ -7,7 +7,7 @@
  *
  * Each (workload, PF) case is its own mini sweep over the DTU axis;
  * the cases are concatenated into one job list and run through
- * runSweepJobs() — thread-pool (or, with EVE_EXP_JOBS_DIR,
+ * runSweep() — thread-pool (or, with EVE_EXP_JOBS_DIR,
  * distributed) execution, the EVE_EXP_CACHE_DIR result cache, and a
  * JSONL artifact.
  */
@@ -52,8 +52,9 @@ main()
         for (auto& job : spec.jobs())
             jobs.push_back(std::move(job));
     }
-    const auto results =
-        bench::runSweepJobs(std::move(jobs), "ablation_dtu.jsonl");
+    bench::SweepOptions opts;
+    opts.artifact = "ablation_dtu.jsonl";
+    const auto results = bench::runSweep(std::move(jobs), opts);
 
     // Each case occupies sweeps.size() consecutive results, in DTU
     // order; the 8-DTU column is the speed-up baseline.

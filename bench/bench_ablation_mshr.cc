@@ -6,8 +6,8 @@
  * count until another bottleneck takes over.
  *
  * The sweep is one axis-override line on the Table III EVE-8 config,
- * executed in parallel by the exp::Runner; a JSONL artifact with the
- * per-job stats accompanies the printed table.
+ * executed through the shared runSweep() plumbing; a JSONL artifact
+ * with the per-job stats accompanies the printed table.
  */
 
 #include <cstdio>
@@ -40,9 +40,9 @@ main()
                         })
         .workloads(wnames, small);
 
-    const auto cache = bench::envCache();
-    const auto results = bench::makeRunner(cache.get()).run(spec);
-    bench::requireAllOk(results);
+    bench::SweepOptions opts;
+    opts.artifact = "ablation_mshr.jsonl";
+    const auto results = bench::runSweep(spec, opts);
 
     // jobs() order: MSHR axis outermost, workloads innermost.
     auto seconds = [&](std::size_t m, std::size_t wl) {
@@ -64,6 +64,5 @@ main()
         table.addRow(row);
     }
     std::printf("%s", table.render().c_str());
-    bench::writeArtifact(results, "ablation_mshr.jsonl");
     return 0;
 }

@@ -42,8 +42,9 @@ main()
                             c.llc_prefetch_lines = d;
                         })
         .workloads(names, small);
-    const auto results =
-        bench::runSweep(spec, "ablation_prefetch.jsonl");
+    bench::SweepOptions opts;
+    opts.artifact = "ablation_prefetch.jsonl";
+    const auto results = bench::runSweep(spec, opts);
 
     // Expansion order: depth axis outermost, workloads innermost.
     auto seconds = [&](std::size_t d, std::size_t w) {

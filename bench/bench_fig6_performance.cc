@@ -38,8 +38,9 @@ main()
                 small ? "small smoke-test" : "full");
 
     const exp::SweepSpec spec = bench::fig6Sweep(small);
-    const auto results =
-        bench::runSweep(spec, "fig6_performance.jsonl");
+    bench::SweepOptions opts;
+    opts.artifact = "fig6_performance.jsonl";
+    const auto results = bench::runSweep(spec, opts);
 
     // jobs() order: systems outermost, workloads innermost.
     const std::size_t n_workloads = spec.workloadCount();

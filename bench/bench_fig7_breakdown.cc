@@ -32,7 +32,9 @@ main()
     spec.systems(bench::eveSystems());
     spec.workloads(exp::paperWorkloads(), small);
 
-    const auto results = bench::runSweep(spec, "fig7_breakdown.jsonl");
+    bench::SweepOptions opts;
+    opts.artifact = "fig7_breakdown.jsonl";
+    const auto results = bench::runSweep(spec, opts);
 
     // jobs() order: systems outermost, workloads innermost.
     const std::size_t n_workloads = spec.workloadCount();

@@ -47,7 +47,9 @@ main()
     spec.systems(bench::eveSystems());
     spec.workloads(exp::paperWorkloads(), small);
 
-    const auto results = bench::runSweep(spec, "fig8_vmu_stalls.jsonl");
+    bench::SweepOptions opts;
+    opts.artifact = "fig8_vmu_stalls.jsonl";
+    const auto results = bench::runSweep(spec, opts);
 
     const std::size_t n_workloads = spec.workloadCount();
     const std::size_t n_systems = bench::eveSystems().size();

@@ -18,6 +18,10 @@
  *   --smoke               small inputs, one iteration (CI)
  *   --iters N             measurement iterations (default 1; 3 with
  *                         full inputs smooths host-timer noise)
+ *   --sim-threads N       threads pipelining each simulation (jobs
+ *                         still run one at a time, so attribution
+ *                         stays exact; timing is parity-guarded at
+ *                         any value)
  *   --json PATH           output path (default BENCH_simspeed.json)
  *   --golden PATH         run the timing-parity check against PATH
  *   --update-golden PATH  write fresh golden fingerprints to PATH
@@ -42,6 +46,7 @@ main(int argc, char** argv)
     setInformEnabled(false);
     bool small = bench::smallRuns();
     unsigned iters = 1;
+    unsigned sim_threads = 1;
     std::string json_name = "BENCH_simspeed.json";
     std::string golden;
     std::string update_golden;
@@ -58,6 +63,9 @@ main(int argc, char** argv)
             small = true;
         else if (arg == "--iters")
             iters = unsigned(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--sim-threads")
+            sim_threads =
+                unsigned(std::strtoul(value(), nullptr, 10));
         else if (arg == "--json")
             json_name = value();
         else if (arg == "--golden")
@@ -79,7 +87,8 @@ main(int argc, char** argv)
                 jobs.size(), scale.c_str(), iters,
                 iters == 1 ? "" : "s");
 
-    const exp::SpeedReport report = exp::measureSimSpeed(jobs, iters);
+    const exp::SpeedReport report =
+        exp::measureSimSpeed(jobs, iters, sim_threads);
 
     TextTable table({"system", "jobs", "wall_s", "jobs/s",
                      "Mcycles", "ns/cycle"});

@@ -81,8 +81,9 @@ main()
     // innermost.
     exp::SweepSpec spec;
     spec.systems(systems).workloads(names, small);
-    const auto results =
-        bench::runSweep(spec, "table4_speedups.jsonl");
+    bench::SweepOptions opts;
+    opts.artifact = "table4_speedups.jsonl";
+    const auto results = bench::runSweep(spec, opts);
     auto seconds = [&](std::size_t sys, std::size_t w) {
         return results[sys * names.size() + w].result.seconds;
     };

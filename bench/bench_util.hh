@@ -71,18 +71,48 @@ fig6Sweep(bool small)
 }
 
 /**
- * Optional result cache from EVE_EXP_CACHE_DIR (nullptr when unset).
- * Benches that run through the exp::Runner opt in by passing it to
- * makeRunner(); rerunning a harness then re-simulates only grid
- * points whose content key changed.
+ * Every knob of a sweep execution in one place. Each field's empty/
+ * zero default defers to the corresponding environment variable, so
+ * a default-constructed SweepOptions behaves exactly like the env-
+ * driven plumbing it replaced; a harness that needs to pin a value
+ * sets the field and the env var is ignored.
+ */
+struct SweepOptions
+{
+    /** JSONL artifact name; empty writes no artifact. */
+    std::string artifact;
+
+    /** Result-cache directory; empty defers to EVE_EXP_CACHE_DIR. */
+    std::string cache_dir;
+
+    /**
+     * Distributed jobs directory; empty defers to EVE_EXP_JOBS_DIR.
+     * When neither is set the sweep runs on the in-process pool.
+     */
+    std::string jobs_dir;
+
+    /** Worker threads / distributed lanes; 0 defers to EVE_EXP_THREADS. */
+    unsigned threads = 0;
+
+    /** Threads pipelining each simulation; <= 1 runs inline. */
+    unsigned sim_threads = 1;
+
+    /** Die unless every job is Ok/Cached (on by default). */
+    bool require_ok = true;
+};
+
+/**
+ * Optional result cache from @p dir, or EVE_EXP_CACHE_DIR when empty
+ * (nullptr when neither is set). Rerunning a harness then
+ * re-simulates only grid points whose content key changed.
  */
 inline std::unique_ptr<exp::ResultCache>
-envCache()
+envCache(const std::string& dir = {})
 {
-    const std::string dir = exp::envCacheDir();
-    if (dir.empty())
+    const std::string resolved = dir.empty() ? exp::envCacheDir() : dir;
+    if (resolved.empty())
         return nullptr;
-    auto cache = std::make_unique<exp::ResultCache>(dir);
+    auto cache = std::make_unique<exp::ResultCache>(resolved);
     const std::size_t loaded = cache->load();
     std::fprintf(stderr, "cache: %zu entries in %s\n", loaded,
                  cache->filePath().c_str());
@@ -91,10 +121,12 @@ envCache()
 
 /** Standard bench runner: env-tunable threads, abort-free sweeps. */
 inline exp::Runner
-makeRunner(exp::ResultCache* cache = nullptr)
+makeRunner(exp::ResultCache* cache = nullptr, unsigned threads = 0,
+           unsigned sim_threads = 1)
 {
     exp::RunnerOptions opts;
-    opts.threads = exp::envThreads();
+    opts.threads = threads ? threads : exp::envThreads();
+    opts.sim_threads = sim_threads;
     opts.cache = cache;
     return exp::Runner(opts);
 }
@@ -125,52 +157,58 @@ writeArtifact(const std::vector<exp::JobResult>& results,
 
 /**
  * The standard harness plumbing in one call, over an explicit job
- * list: reindex the jobs 0..N-1, wire up the optional
- * EVE_EXP_CACHE_DIR result cache, execute, die if any job failed,
- * write the JSONL artifact (skipped when @p artifact_name is empty),
+ * list: reindex the jobs 0..N-1, wire up the optional result cache,
+ * execute, die if any job failed (unless opts.require_ok is off),
+ * write the JSONL artifact (skipped when opts.artifact is empty),
  * and hand back the index-ordered results.
  *
- * When EVE_EXP_JOBS_DIR is set the jobs run over the distributed
- * job-file protocol (exp/dist.hh) under that directory — any
+ * When a jobs directory is configured (opts.jobs_dir or
+ * EVE_EXP_JOBS_DIR) the jobs run over the distributed job-file
+ * protocol (exp/dist.hh) under that directory — any
  * `eve_sweep --worker --jobs-dir DIR` processes sharing it take part
  * — otherwise on the in-process thread pool. Either way the results
- * (and the artifact) are byte-identical, so the env var is a pure
+ * (and the artifact) are byte-identical, so the choice is a pure
  * deployment decision.
  */
 inline std::vector<exp::JobResult>
-runSweepJobs(std::vector<exp::Job> jobs,
-             const std::string& artifact_name)
+runSweep(std::vector<exp::Job> jobs, const SweepOptions& opts = {})
 {
     for (std::size_t i = 0; i < jobs.size(); ++i)
         jobs[i].index = i;
-    const auto cache = envCache();
+    const auto cache = envCache(opts.cache_dir);
     std::vector<exp::JobResult> results;
-    const std::string jobs_dir = exp::envJobsDir();
+    const std::string jobs_dir =
+        opts.jobs_dir.empty() ? exp::envJobsDir() : opts.jobs_dir;
     if (!jobs_dir.empty()) {
         exp::DistOptions dist;
         dist.jobs_dir = jobs_dir;
-        dist.lanes = exp::envThreads()
-                         ? exp::envThreads()
-                         : std::thread::hardware_concurrency();
+        const unsigned lanes =
+            opts.threads ? opts.threads : exp::envThreads();
+        dist.lanes =
+            lanes ? lanes : std::thread::hardware_concurrency();
+        dist.sim_threads = opts.sim_threads;
         results = exp::runDistributed(jobs, dist, cache.get());
     } else {
-        results = makeRunner(cache.get()).run(jobs);
+        results =
+            makeRunner(cache.get(), opts.threads, opts.sim_threads)
+                .run(jobs);
     }
-    requireAllOk(results);
-    if (!artifact_name.empty())
-        writeArtifact(results, artifact_name);
+    if (opts.require_ok)
+        requireAllOk(results);
+    if (!opts.artifact.empty())
+        writeArtifact(results, opts.artifact);
     return results;
 }
 
 /**
- * runSweepJobs() over a SweepSpec's expansion. Every table/figure
- * bench goes through here so cache, artifact, and distributed
- * behaviour stay uniform.
+ * runSweep() over a SweepSpec's expansion. Every table/figure bench
+ * goes through here so cache, artifact, and distributed behaviour
+ * stay uniform.
  */
 inline std::vector<exp::JobResult>
-runSweep(const exp::SweepSpec& spec, const std::string& artifact_name)
+runSweep(const exp::SweepSpec& spec, const SweepOptions& opts = {})
 {
-    return runSweepJobs(spec.jobs(), artifact_name);
+    return runSweep(spec.jobs(), opts);
 }
 
 } // namespace eve::bench

@@ -252,31 +252,34 @@ EveSystem::execLoad(const Instr& instr, Tick commit)
         mem_start = std::max(mem_start, idx_done);
     }
 
-    planRequestsInto(instr, mem.llc().params().line_bytes, lineBuf);
-    const auto& lines = lineBuf;
-    statGroup.add(statVmuLines, double(lines.size()));
-
     Tick gen = mem_start;
     Tick mem_done = mem_start;
     Tick dt_done = mem_start;
-    for (const Addr line : lines) {
-        // One request generated + translated per cycle, with
-        // back-pressure from the outstanding-line credit pool (the
-        // LLC's MSHR occupancy propagates into the grant times).
-        const Tick want = gen + clock.period();
-        Tick line_done = 0;
-        const Tick grant = vmuCredits.acquire(want, [&](Tick g) {
-            line_done = mem.llc().access(line, false, g);
-            return line_done;
+    std::uint64_t nlines = 0;
+    // Loads stream the request plan straight into the VMU (the plan
+    // is consumed once, in order); stores still buffer it because the
+    // store path needs the line count mid-loop.
+    forEachRequestLine(
+        instr, mem.llc().params().line_bytes, [&](Addr line) {
+            // One request generated + translated per cycle, with
+            // back-pressure from the outstanding-line credit pool (the
+            // LLC's MSHR occupancy propagates into the grant times).
+            const Tick want = gen + clock.period();
+            Tick line_done = 0;
+            const Tick grant = vmuCredits.acquire(want, [&](Tick g) {
+                line_done = mem.llcPort().access(line, false, g);
+                return line_done;
+            });
+            statGroup.add(statVmuCacheStall, double(grant - want));
+            statGroup.add(statVmuIssue, double(clock.period()));
+            gen = grant;
+            mem_done = std::max(mem_done, line_done);
+            const Tick dt_busy = clock.toTicks(params.dtu_line_cycles);
+            const Tick dt_start = dtuUnits.acquire(line_done, dt_busy);
+            dt_done = std::max(dt_done, dt_start + dt_busy);
+            ++nlines;
         });
-        statGroup.add(statVmuCacheStall, double(grant - want));
-        statGroup.add(statVmuIssue, double(clock.period()));
-        gen = grant;
-        mem_done = std::max(mem_done, line_done);
-        const Tick dt_busy = clock.toTicks(params.dtu_line_cycles);
-        const Tick dt_start = dtuUnits.acquire(line_done, dt_busy);
-        dt_done = std::max(dt_done, dt_start + dt_busy);
-    }
+    statGroup.add(statVmuLines, double(nlines));
     vmuGenFree = gen;
     memLast = std::max(memLast, mem_done);
 
@@ -341,7 +344,7 @@ EveSystem::execStore(const Instr& instr, Tick commit)
             const Tick want = std::max(gen + clock.period(), dt_out);
             Tick line_done = 0;
             const Tick w_grant = vmuCredits.acquire(want, [&](Tick t) {
-                line_done = mem.llc().access(line, true, t);
+                line_done = mem.llcPort().access(line, true, t);
                 return line_done;
             });
             statGroup.add(statVmuCacheStall,

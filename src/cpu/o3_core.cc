@@ -12,6 +12,7 @@ O3Core::O3Core(const O3CoreParams& params, MemHierarchy& mem)
       mem(mem),
       clock(params.clock_ns),
       slotPeriod(std::max<Tick>(clock.period() / params.width, 1)),
+      rob(std::size_t(params.rob) + 1),
       lsq(params.lsq),
       statGroup("o3")
 {
@@ -28,9 +29,11 @@ O3Core::dispatchSlot()
     Tick slot = lastSlot + slotPeriod;
     // A full reorder buffer stalls dispatch until the head retires
     // (in program order).
-    if (rob.size() >= params.rob) {
-        const Tick head = rob.front();
-        rob.pop_front();
+    if (robCount >= params.rob) {
+        const Tick head = rob[robHead];
+        if (++robHead == rob.size())
+            robHead = 0;
+        --robCount;
         if (head > slot) {
             statGroup.add(statRobStall, double(head - slot));
             slot = head;
@@ -84,7 +87,7 @@ O3Core::consume(const Instr& instr)
 
     if (instr.dst != 0)
         regReady[instr.dst] = done;
-    rob.push_back(done);
+    robPush(done);
     inOrderDone = std::max(inOrderDone, done);
 }
 
@@ -97,7 +100,7 @@ O3Core::dispatchVector(const Instr& instr)
     // The instruction is sent to the engine once it is the oldest and
     // ready to commit (EVE does not support precise exceptions).
     const Tick commit = std::max(slot, inOrderDone) + clock.period();
-    rob.push_back(commit);
+    robPush(commit);
     inOrderDone = std::max(inOrderDone, commit);
     return commit;
 }
@@ -121,7 +124,7 @@ O3Core::takeSlot()
 void
 O3Core::recordCompletion(Tick done)
 {
-    rob.push_back(done);
+    robPush(done);
     inOrderDone = std::max(inOrderDone, done);
 }
 

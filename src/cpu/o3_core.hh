@@ -23,7 +23,7 @@
 #define EVE_CPU_O3_CORE_HH
 
 #include <array>
-#include <deque>
+#include <vector>
 
 #include "cpu/timing_model.hh"
 #include "mem/hierarchy.hh"
@@ -78,6 +78,15 @@ class O3Core : public TimingModel
   private:
     Tick dispatchSlot();
 
+    /** Append one retirement tick at the ROB tail. */
+    void robPush(Tick done)
+    {
+        rob[robTail] = done;
+        if (++robTail == rob.size())
+            robTail = 0;
+        ++robCount;
+    }
+
     O3CoreParams params;
     MemHierarchy& mem;
     ClockDomain clock;
@@ -87,7 +96,17 @@ class O3Core : public TimingModel
     Tick inOrderDone = 0;   ///< running max of completions (commit)
     Tick lastStoreDone = 0;
     std::array<Tick, 64> regReady{};
-    std::deque<Tick> rob;
+
+    /**
+     * Reorder buffer as a fixed ring of retirement ticks. Every
+     * instruction pushes exactly one entry and the head is popped
+     * only when occupancy reaches the window size, so occupancy
+     * never exceeds params.rob — capacity rob + 1 can never fill.
+     */
+    std::vector<Tick> rob;
+    std::size_t robHead = 0;
+    std::size_t robTail = 0;
+    std::size_t robCount = 0;
     TokenPool lsq;
     StatGroup statGroup;
     StatGroup::Id statInstrs, statRobStall, statLsqStall;

@@ -1,6 +1,9 @@
 #include "driver/system.hh"
 
 #include <cstdlib>
+#include <exception>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "analytic/circuits.hh"
@@ -154,11 +157,13 @@ System::System(const SystemConfig& config) : cfg(config)
     buildModel();
 }
 
-System::System(const SystemConfig& config, SharedUncore& uncore)
+System::System(const SystemConfig& config, SharedUncore& uncore,
+               MemObject* llc_gate)
     : cfg(config)
 {
     hierarchy = std::make_unique<MemHierarchy>(
-        hierarchyParams(config), uncore.llc(), uncore.dram());
+        hierarchyParams(config), uncore.llc(), uncore.dram(),
+        llc_gate);
     buildModel();
 }
 
@@ -250,8 +255,33 @@ class AddrBiasSink : public InstrSink
 
 } // namespace
 
+void
+System::emitTrace(Workload& workload, InstrSink& model_leg,
+                  std::uint32_t hw_vl, RunResult& result)
+{
+    CountingSink counter;
+    Characterizer characterizer;
+    TeeSink tee;
+    tee.attach(&counter);
+    tee.attach(&characterizer);
+    std::unique_ptr<VecMachine> machine;
+    if (hw_vl != 0) {
+        machine =
+            std::make_unique<VecMachine>(workload.memory(), hw_vl);
+        tee.attach(machine.get());  // functional execution first
+    }
+    tee.attach(&model_leg);
+    if (hw_vl == 0)
+        workload.emitScalar(tee);
+    else
+        workload.emitVector(tee, hw_vl);
+    result.instrs = counter.total;
+    result.vecInstrs = characterizer.vecInstrs;
+    result.vecElemOps = characterizer.vecOps;
+}
+
 RunResult
-System::run(Workload& workload)
+System::run(Workload& workload, unsigned sim_threads)
 {
     workload.init();
 
@@ -259,32 +289,48 @@ System::run(Workload& workload)
     result.system = systemName(cfg);
     result.workload = workload.name();
 
-    CountingSink counter;
-    Characterizer characterizer;
-    AddrBiasSink biased_model(*model, addrBias);
     const std::uint32_t hw_vl = hwVectorLength();
-    if (hw_vl == 0) {
-        TeeSink tee;
-        tee.attach(&counter);
-        tee.attach(&characterizer);
-        tee.attach(&biased_model);
-        workload.emitScalar(tee);
-        result.mismatches = 0;  // scalar path is timing-only
+    if (sim_threads <= 1) {
+        // Inline: emission calls straight into the model.
+        AddrBiasSink biased_model(*model, addrBias);
+        emitTrace(workload, biased_model, hw_vl, result);
     } else {
-        VecMachine machine(workload.memory(), hw_vl);
-        TeeSink tee;
-        tee.attach(&counter);
-        tee.attach(&characterizer);
-        tee.attach(&machine);  // functional execution first
-        tee.attach(&biased_model);
-        workload.emitVector(tee, hw_vl);
-        result.mismatches = workload.verify();
+        // Pipelined: a producer thread emits the trace (running the
+        // functional machine and characterization), pushing already-
+        // biased records into a bounded feed; this thread pumps the
+        // model through its Clocked interface. Order is preserved,
+        // so the simulated timing is byte-identical to inline.
+        InstrFeed feed;
+        FeedWriter writer(feed);
+        AddrBiasSink biased_writer(writer, addrBias);
+        model->attachFeed(&feed);
+        std::exception_ptr producer_error;
+        std::thread producer([&] {
+            try {
+                emitTrace(workload, biased_writer, hw_vl, result);
+            } catch (...) {
+                producer_error = std::current_exception();
+            }
+            feed.close();
+        });
+        for (;;) {
+            if (!model->quiesced())
+                model->tick(kTickHorizonInf);
+            else if (feed.closed() && model->quiesced())
+                break;
+            else
+                std::this_thread::yield();
+        }
+        producer.join();
+        model->attachFeed(nullptr);
+        if (producer_error)
+            std::rethrow_exception(producer_error);
     }
+    // The scalar path is timing-only; vector runs verify against the
+    // functional machine's memory image.
+    result.mismatches = hw_vl == 0 ? 0 : workload.verify();
     model->finish();
 
-    result.instrs = counter.total;
-    result.vecInstrs = characterizer.vecInstrs;
-    result.vecElemOps = characterizer.vecOps;
     auto collect = [&](StatGroup& group) {
         for (const auto& [stat, value] : group.sorted())
             result.stats[group.name() + "." + stat] = value;
@@ -293,8 +339,10 @@ System::run(Workload& workload)
     collect(hierarchy->l1i().stats());
     collect(hierarchy->l1d().stats());
     collect(hierarchy->l2().stats());
-    collect(hierarchy->llc().stats());
-    collect(hierarchy->dram().stats());
+    if (!sharedStatsDeferred) {
+        collect(hierarchy->llc().stats());
+        collect(hierarchy->dram().stats());
+    }
     result.total_ticks = double(model->finalTick());
     result.cycles = result.total_ticks /
                     (model->clockNs() * ticksPerNs);
@@ -312,10 +360,11 @@ System::run(Workload& workload)
 }
 
 RunResult
-runWorkload(const SystemConfig& config, Workload& workload)
+runWorkload(const SystemConfig& config, Workload& workload,
+            unsigned sim_threads)
 {
     System system(config);
-    return system.run(workload);
+    return system.run(workload, sim_threads);
 }
 
 std::pair<RunResult, RunResult>

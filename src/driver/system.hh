@@ -108,9 +108,12 @@ class System
     /**
      * CMP form: a core whose private hierarchy sits on a shared
      * uncore (LLC + DRAM). Several systems built this way contend
-     * for the shared resources.
+     * for the shared resources. @p llc_gate, when non-null, is
+     * interposed on every timing path into the shared LLC (the
+     * threaded CMP driver's BarrierClock port).
      */
-    System(const SystemConfig& config, SharedUncore& uncore);
+    System(const SystemConfig& config, SharedUncore& uncore,
+           MemObject* llc_gate = nullptr);
 
     ~System();
 
@@ -121,8 +124,17 @@ class System
      * Run @p workload: init, emit the matching stream (scalar or
      * vector) through the timing model with a VecMachine attached,
      * finish, verify, and collect the result.
+     *
+     * @p sim_threads <= 1 runs inline (emission calls straight into
+     * the model). >= 2 splits one simulation into a pipeline: a
+     * producer thread emits the trace (and runs the functional
+     * machine and characterization) into a bounded InstrFeed, while
+     * this thread pumps the timing model through its Clocked
+     * interface. The model consumes the identical record sequence in
+     * the identical order, so the simulated timing is byte-identical
+     * to the inline path — guarded by the parity tests.
      */
-    RunResult run(Workload& workload);
+    RunResult run(Workload& workload, unsigned sim_threads = 1);
 
     TimingModel& timing() { return *model; }
     MemHierarchy& memory() { return *hierarchy; }
@@ -142,18 +154,37 @@ class System
     /** Hierarchy parameters implied by a system configuration. */
     static HierarchyParams hierarchyParams(const SystemConfig& config);
 
+    /**
+     * CMP driver hook: skip the shared llc/dram stat groups when
+     * collecting this core's result (they are patched in after every
+     * core joined, so concurrent cores never read stats another core
+     * is still updating).
+     */
+    void deferSharedStats() { sharedStatsDeferred = true; }
+
   private:
     void buildModel();
+
+    /**
+     * Emit the workload's trace into the tee (counter +
+     * characterizer + functional machine + @p model_leg), recording
+     * the stream counters into @p result. In pipelined runs this is
+     * the producer thread's body.
+     */
+    void emitTrace(Workload& workload, InstrSink& model_leg,
+                   std::uint32_t hw_vl, RunResult& result);
 
     SystemConfig cfg;
     std::unique_ptr<MemHierarchy> hierarchy;
     std::unique_ptr<TimingModel> model;
     EveSystem* eve = nullptr;
     Addr addrBias = 0;
+    bool sharedStatsDeferred = false;
 };
 
 /** Convenience: build a fresh system and run one workload. */
-RunResult runWorkload(const SystemConfig& config, Workload& workload);
+RunResult runWorkload(const SystemConfig& config, Workload& workload,
+                      unsigned sim_threads = 1);
 
 /**
  * Run two workloads on two cores that share the LLC and the DRAM

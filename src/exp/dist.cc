@@ -825,7 +825,7 @@ runDistWorker(const DistOptions& opts,
         }
 
         JobResult r;
-        runJob(job, r);
+        runJob(job, r, dir.options().sim_threads);
         ++report.executed;
         dir.publishResult(dist, r);
         if (dir.options().progress) {

@@ -134,6 +134,12 @@ struct DistOptions
      */
     unsigned lanes = 1;
 
+    /**
+     * Threads pipelining each locally-executed simulation; <= 1 runs
+     * inline. Timing-parity guarded, so a pure wall-clock knob.
+     */
+    unsigned sim_threads = 1;
+
     /** Per locally-executed job; serialized. done/total are counts
      *  of *locally* executed jobs, not sweep-wide state. */
     ProgressFn progress;

@@ -79,7 +79,16 @@ tableIIISweep(bool small)
 std::string
 parityPayload(const JobResult& r)
 {
-    return resultToJson(r, /*include_host_time=*/false);
+    // Position-independent: the parity key already identifies the
+    // grid point, so the payload must not depend on where in a sweep
+    // the job sat (index, label) or which axes a particular spec
+    // spelled out — otherwise a slice of the grid, or another tool's
+    // sweep over the same points, would spuriously diverge.
+    JobResult norm = r;
+    norm.index = 0;
+    norm.label.clear();
+    norm.axes.clear();
+    return resultToJson(norm, /*include_host_time=*/false);
 }
 
 std::uint64_t
@@ -180,7 +189,8 @@ ParityFile::check(const std::vector<JobResult>& results,
 }
 
 SpeedReport
-measureSimSpeed(const std::vector<Job>& jobs, unsigned iters)
+measureSimSpeed(const std::vector<Job>& jobs, unsigned iters,
+                unsigned sim_threads)
 {
     if (iters == 0)
         iters = 1;
@@ -201,7 +211,7 @@ measureSimSpeed(const std::vector<Job>& jobs, unsigned iters)
                 fatal("simspeed: unknown workload '%s'",
                       job.workload.c_str());
             const auto start = std::chrono::steady_clock::now();
-            r.result = runWorkload(job.config, *workload);
+            r.result = runWorkload(job.config, *workload, sim_threads);
             const double wall =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)

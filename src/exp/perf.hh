@@ -50,7 +50,13 @@ const std::vector<std::string>& paperWorkloads();
  */
 SweepSpec tableIIISweep(bool small);
 
-/** Deterministic result payload the parity fingerprint hashes. */
+/**
+ * Deterministic result payload the parity fingerprint hashes.
+ * Sweep bookkeeping (index, label, axes) is normalized out so the
+ * fingerprint of a grid point is identical whether it ran in the
+ * full Table III grid, a sliced eve_perf run, or an eve_sweep
+ * invocation covering the same point.
+ */
 std::string parityPayload(const JobResult& r);
 
 /** 64-bit FNV-1a fingerprint of parityPayload(). */
@@ -131,9 +137,13 @@ struct SpeedReport
  * Run every job serially @p iters times, timing each execution.
  * Failures are fatal — a speed number over failed jobs is
  * meaningless. @p iters > 1 amortizes host timer noise.
+ * @p sim_threads > 1 pipelines each simulation (System::run) — jobs
+ * still execute one at a time, so attribution stays exact while the
+ * intra-sim speedup shows up directly in jobs/s.
  */
 SpeedReport measureSimSpeed(const std::vector<Job>& jobs,
-                            unsigned iters = 1);
+                            unsigned iters = 1,
+                            unsigned sim_threads = 1);
 
 /**
  * Render @p report as a JSON object. @p baseline_jobs_per_sec > 0

@@ -47,7 +47,7 @@ Runner::run(const SweepSpec& spec) const
 }
 
 void
-runJob(const Job& job, JobResult& out)
+runJob(const Job& job, JobResult& out, unsigned sim_threads)
 {
     out.index = job.index;
     out.label = job.label;
@@ -64,7 +64,8 @@ runJob(const Job& job, JobResult& out)
             if (!workload)
                 throw std::runtime_error("unknown workload '" +
                                          job.workload + "'");
-            out.result = runWorkload(job.config, *workload);
+            out.result = runWorkload(job.config, *workload,
+                                     sim_threads);
         }
         out.status = out.result.mismatches ? JobStatus::Mismatch
                                            : JobStatus::Ok;
@@ -133,7 +134,7 @@ Runner::run(const std::vector<Job>& jobs) const
                 if (p >= pending.size())
                     return;
                 const std::size_t i = pending[p];
-                runJob(jobs[i], results[i]);
+                runJob(jobs[i], results[i], opts.sim_threads);
                 if (results[i].status == JobStatus::Failed &&
                     opts.on_failure == FailurePolicy::Abort) {
                     stop.store(true, std::memory_order_release);

@@ -19,7 +19,6 @@ Cache::Cache(const CacheParams& params, MemObject* next_level)
       tagArray(std::size_t(sets) * params.assoc),
       validMask(sets, 0),
       mshrPool(params.mshrs),
-      outstanding(4 * std::size_t(params.mshrs) + 8),
       statGroup(params.name)
 {
     if (!next)
@@ -124,13 +123,9 @@ Cache::access(Addr addr, bool is_write, Tick t)
         if (is_write)
             entry.dirty = true;
         Tick done = hit_done;
-        if (Tick* fill = outstanding.find(line)) {
-            if (*fill > hit_done) {
-                done = *fill;
-                statGroup.add(statMshrMerges, 1);
-            } else {
-                outstanding.erase(line);
-            }
+        if (entry.fill > hit_done) {
+            done = entry.fill;
+            statGroup.add(statMshrMerges, 1);
         }
         statGroup.add(statHits, 1);
         return done;
@@ -154,38 +149,22 @@ Cache::access(Addr addr, bool is_write, Tick t)
     // channel and stall earlier arrivals behind it.
     const unsigned victim = victimWay(set);
     Line& entry = setBase(set)[victim];
-    if (entry.valid) {
+    if (entry.valid && entry.dirty) {
         const Addr victim_line = entry.tag * sets + set;
-        if (entry.dirty) {
-            next->access(victim_line * cacheParams.line_bytes, true,
-                         grant);
-            statGroup.add(statWritebacks, 1);
-        }
-        // The victim's in-flight fill state dies with the line: a
-        // stale entry would merge a later re-fetch of the same line
-        // against the pre-eviction fill tick.
-        outstanding.erase(victim_line);
+        next->access(victim_line * cacheParams.line_bytes, true,
+                     grant);
+        statGroup.add(statWritebacks, 1);
     }
 
+    // The victim's in-flight fill state dies with the line (the
+    // fill tick is overwritten below): a stale value would merge a
+    // later re-fetch of the same line against the pre-eviction fill.
     entry.valid = true;
     entry.dirty = is_write;
     entry.tag = tag;
+    entry.fill = fill;
     validMask[set] |= std::uint16_t(1u << victim);
     touchLru(set, victim);
-
-    outstanding.insertOrAssign(line, fill);
-    // Keep the outstanding map from growing without bound: drop
-    // entries that completed long before this access. The min-value
-    // bound skips the rebuild when no entry can match — decoupled
-    // engines run the fill stream far ahead of the access stream, so
-    // the size condition alone would fire on every miss while
-    // dropping nothing. Skipped prunes leave the entry set (and so
-    // simulated timing) untouched.
-    if (outstanding.size() > 4 * cacheParams.mshrs &&
-        outstanding.minValueBound() <= start) {
-        outstanding.eraseIf(
-            [start](Addr, Tick fill_t) { return fill_t <= start; });
-    }
 
     // Stream prefetch: pull the next lines in parallel with the
     // demand miss (launched at miss detection, not at fill, and not
@@ -201,27 +180,27 @@ Cache::prefetchLine(Addr line, Tick t)
 {
     const unsigned set = setIndex(line);
     const Addr tag = tagOf(line);
-    if (findWay(set, tag) >= 0 || outstanding.contains(line))
+    // A line's fill state lives in its tag entry, so "already cached"
+    // covers "already in flight" — an uncached line cannot have an
+    // outstanding fill.
+    if (findWay(set, tag) >= 0)
         return;
     statGroup.add(statPrefetches, 1);
     const Tick fill = next->access(line * cacheParams.line_bytes,
                                    false, t) + clock.period();
     const unsigned victim = victimWay(set);
     Line& entry = setBase(set)[victim];
-    if (entry.valid) {
+    if (entry.valid && entry.dirty) {
         const Addr victim_line = entry.tag * sets + set;
-        if (entry.dirty) {
-            next->access(victim_line * cacheParams.line_bytes, true, t);
-            statGroup.add(statWritebacks, 1);
-        }
-        outstanding.erase(victim_line);
+        next->access(victim_line * cacheParams.line_bytes, true, t);
+        statGroup.add(statWritebacks, 1);
     }
     entry.valid = true;
     entry.dirty = false;
     entry.tag = tag;
+    entry.fill = fill;
     validMask[set] |= std::uint16_t(1u << victim);
     touchLru(set, victim);
-    outstanding.insertOrAssign(line, fill);
 }
 
 void
@@ -230,7 +209,10 @@ Cache::resetTiming()
     for (auto& bank : bankPorts)
         bank.reset();
     mshrPool.reset();
-    outstanding.clear();
+    // Fill ticks are timing state: the new epoch's bank clocks start
+    // at zero, so ticks from the old epoch must not merge against it.
+    for (Line& line : tagArray)
+        line.fill = 0;
     statGroup.clear();
 }
 
@@ -258,11 +240,10 @@ Cache::invalidateWays(unsigned way_begin, unsigned way_end)
                 ++result.valid_lines;
                 if (line.dirty)
                     ++result.dirty_lines;
-                // Drop in-flight fill state with the line, or a later
-                // stream prefetch of the same line is suppressed and
-                // the hit path merges against a pre-carve-out fill.
-                outstanding.erase(line.tag * sets + s);
             }
+            // Line{} also drops the in-flight fill state with the
+            // line, or a re-fetch after the carve-out would merge
+            // against a pre-carve-out fill.
             line = Line{};
             validMask[s] &= std::uint16_t(~(1u << w));
         }
@@ -274,7 +255,6 @@ void
 Cache::invalidateAll()
 {
     invalidateWays(0, cacheParams.assoc);
-    outstanding.clear();
 }
 
 void
@@ -290,6 +270,7 @@ Cache::touch(Addr addr, bool dirty)
         entry.valid = true;
         entry.dirty = false;
         entry.tag = tag;
+        entry.fill = 0;  // warmed in without timing side effects
         validMask[set] |= std::uint16_t(1u << unsigned(way));
     }
     Line& entry = setBase(set)[unsigned(way)];

@@ -18,10 +18,15 @@
  * way]; recency is order-encoded per set (a packed nibble list,
  * LRU -> MRU) next to a valid-way bitmask, so victim selection reads
  * two words instead of scanning per-line 64-bit timestamps; and the
- * in-flight-fill (MSHR) tracker is a flat open-addressing table
- * (common/flat_map.hh) instead of an unordered_map. None of this
- * changes a simulated cycle — the structures are behaviourally
- * identical to what they replaced.
+ * in-flight-fill (MSHR) state lives *in the line itself* — each tag
+ * entry carries the tick its fill completes. A fill tick is only
+ * meaningful while it is in the future of the line's bank clock, a
+ * line's bank never changes, and the line's eviction overwrites the
+ * state, so the side table the fill ticks used to live in (and the
+ * bounded-size prune that kept it from growing without bound on
+ * decoupled-engine streams — the O3/DV per-miss pathology) is gone
+ * entirely. None of this changes a simulated cycle — the structures
+ * are behaviourally identical to what they replaced.
  */
 
 #ifndef EVE_MEM_CACHE_HH
@@ -31,7 +36,6 @@
 #include <string>
 #include <vector>
 
-#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "mem/mem_object.hh"
 #include "sim/resource.hh"
@@ -116,6 +120,17 @@ class Cache : public MemObject
     struct Line
     {
         Addr tag = 0;
+        /**
+         * Tick the line's most recent fill completes. An access that
+         * hits while this is still ahead of its own completion tick
+         * waits for the fill (a secondary miss merging into the
+         * in-flight MSHR). A line's accesses all go through one bank
+         * whose start ticks never decrease, so once the fill tick
+         * falls behind an access it can never affect a later one —
+         * a stale value is exactly equivalent to the erased side-
+         * table entry it replaces.
+         */
+        Tick fill = 0;
         bool valid = false;
         bool dirty = false;
     };
@@ -158,7 +173,6 @@ class Cache : public MemObject
 
     std::vector<PipelinedUnits> bankPorts;
     TokenPool mshrPool;
-    FlatAddrMap outstanding;              ///< line -> fill tick
 
     StatGroup statGroup;
     StatGroup::Id statReads, statWrites, statHits, statMisses;

@@ -31,15 +31,18 @@ MemHierarchy::MemHierarchy(const HierarchyParams& params)
     llcCache = std::make_unique<Cache>(llcParams(params),
                                        dramChannel.get());
     llcView = llcCache.get();
+    llcTimingPort = llcView;
     buildPrivateLevels();
 }
 
 MemHierarchy::MemHierarchy(const HierarchyParams& params,
-                           Cache& shared_llc, Dram& shared_dram)
+                           Cache& shared_llc, Dram& shared_dram,
+                           MemObject* llc_gate)
     : hierParams(params)
 {
     llcView = &shared_llc;
     dramView = &shared_dram;
+    llcTimingPort = llc_gate ? llc_gate : llcView;
     buildPrivateLevels();
 }
 
@@ -56,7 +59,7 @@ MemHierarchy::buildPrivateLevels()
     l2_p.banks = 8;
     l2_p.mshrs = params.l2_mshrs;
     l2_p.clock_ns = params.clock_ns;
-    l2Cache = std::make_unique<Cache>(l2_p, llcView);
+    l2Cache = std::make_unique<Cache>(l2_p, llcTimingPort);
 
     CacheParams l1d_p;
     l1d_p.name = "l1d";

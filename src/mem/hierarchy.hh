@@ -42,15 +42,27 @@ class MemHierarchy
      * CMP form: build only the private levels (L1I/L1D/L2) on top of
      * an externally owned shared LLC (Section V's chip
      * multiprocessor setting: one private hierarchy per core).
+     * @p llc_gate, when non-null, is interposed on every *timing*
+     * path into the shared LLC (the L2's next level and the vector
+     * engines' direct LLC port) — the threaded CMP driver passes its
+     * BarrierClock gate here so one core's accesses serialize
+     * deterministically against the other cores'.
      */
     MemHierarchy(const HierarchyParams& params, Cache& shared_llc,
-                 Dram& shared_dram);
+                 Dram& shared_dram, MemObject* llc_gate = nullptr);
 
     Cache& l1i() { return *l1iCache; }
     Cache& l1d() { return *l1dCache; }
     Cache& l2() { return *l2Cache; }
     Cache& llc() { return *llcView; }
     Dram& dram() { return *dramView; }
+
+    /**
+     * The timing port engines use for direct LLC accesses: the LLC
+     * itself, unless a CMP gate is interposed. Structural queries
+     * (params, stats, touch) still go through llc().
+     */
+    MemObject& llcPort() { return *llcTimingPort; }
 
     const HierarchyParams& params() const { return hierParams; }
 
@@ -68,6 +80,7 @@ class MemHierarchy
     std::unique_ptr<Cache> llcCache;    ///< null in CMP form
     Dram* dramView = nullptr;
     Cache* llcView = nullptr;
+    MemObject* llcTimingPort = nullptr;  ///< llcView or the CMP gate
     std::unique_ptr<Cache> l2Cache;
     std::unique_ptr<Cache> l1dCache;
     std::unique_ptr<Cache> l1iCache;

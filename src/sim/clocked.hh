@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The clocked-component half of the two-level timing API.
+ *
+ * Workloads keep pushing their dynamic trace through InstrSink, but
+ * the *driver* — not each model — owns the clock: every core and
+ * engine is a Clocked component the driver steps with tick(), skips
+ * while quiesced(), and paces by nextEventTick(). This is what lets
+ * one simulation span threads: a producer thread emits the trace into
+ * a bounded InstrFeed while the driver pumps the model on another
+ * thread, and the CMP driver runs each core's component on its own
+ * thread under a barrier-synchronized clock (sim/barrier_clock.hh).
+ *
+ * The timing models are trace-driven and lazy — they compute event
+ * ticks instead of looping over cycles — so tick(horizon) does not
+ * mean "advance one cycle": it means "consume the work that has
+ * arrived, folding it into your event times; the caller guarantees
+ * no input earlier than @p horizon will appear afterwards". A model
+ * with no pending work reports quiesced() and the driver never ticks
+ * it (asserted by the quiesced-skip regression test).
+ */
+
+#ifndef EVE_SIM_CLOCKED_HH
+#define EVE_SIM_CLOCKED_HH
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instr.hh"
+
+namespace eve
+{
+
+/** "No pending event" sentinel for Clocked::nextEventTick(). */
+inline constexpr Tick kNoEventTick = std::numeric_limits<Tick>::max();
+
+/** "Consume everything available" horizon for Clocked::tick(). */
+inline constexpr Tick kTickHorizonInf = std::numeric_limits<Tick>::max();
+
+/**
+ * A component the driver steps under its clock. Implementations are
+ * single-consumer: tick()/quiesced()/nextEventTick() are called from
+ * one driver thread at a time (work may *arrive* from another thread
+ * through a thread-safe channel such as InstrFeed).
+ */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /**
+     * Fold pending work into the component's event times. The caller
+     * promises that no input with an earlier arrival than @p horizon
+     * will be delivered after this call returns.
+     */
+    virtual void tick(Tick horizon) = 0;
+
+    /** True when the component has no pending work to tick. */
+    virtual bool quiesced() const = 0;
+
+    /**
+     * The component's current event frontier: the tick where newly
+     * arriving work would land, or kNoEventTick when quiesced.
+     */
+    virtual Tick nextEventTick() const = 0;
+
+    /** How many times the driver actually stepped this component. */
+    std::uint64_t tickCount() const { return tickInvocations; }
+
+  protected:
+    std::uint64_t tickInvocations = 0;
+};
+
+/**
+ * Bounded single-producer single-consumer instruction channel.
+ *
+ * The producer (trace emission) pushes records; the consumer (the
+ * driver pumping a Clocked model) drains them in order. Records are
+ * deep-copied on push — including the indexed-access offset array,
+ * which in the InstrSink protocol is only valid for the duration of
+ * the consume() call — so a record stays valid until the consumer
+ * finishes with it.
+ *
+ * Memory ordering: the producer writes a slot, then publishes it with
+ * a release store of tail; the consumer acquires tail before reading
+ * the slot and releases head after; the producer acquires head before
+ * reusing a slot. close() is a release store made after the final
+ * push, so a consumer that observes closed() and then sees the feed
+ * empty has observed every record.
+ */
+class InstrFeed
+{
+  public:
+    /** @p capacity_pow2 slots must be a power of two. */
+    explicit InstrFeed(std::size_t capacity_pow2 = 1024)
+        : ring(capacity_pow2), mask(capacity_pow2 - 1)
+    {
+    }
+
+    /** Producer: enqueue a deep copy of @p instr (blocks while full). */
+    void
+    push(const Instr& instr)
+    {
+        const std::size_t t = tail.load(std::memory_order_relaxed);
+        while (t - head.load(std::memory_order_acquire) > mask)
+            std::this_thread::yield();
+        Slot& slot = ring[t & mask];
+        slot.instr = instr;
+        if (instr.indices) {
+            slot.idx.assign(instr.indices, instr.indices + instr.vl);
+            slot.instr.indices = slot.idx.data();
+        }
+        tail.store(t + 1, std::memory_order_release);
+    }
+
+    /** Producer: no more records will be pushed. */
+    void close() { closed_.store(true, std::memory_order_release); }
+
+    /** Consumer: true when no record is currently available. */
+    bool
+    empty() const
+    {
+        return head.load(std::memory_order_relaxed) ==
+               tail.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Consumer: true once the producer has closed the feed. Check
+     * closed() *before* empty() when deciding to stop draining — the
+     * close is published after the final push, so closed-then-empty
+     * means every record has been consumed.
+     */
+    bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+    /**
+     * Consumer: invoke @p fn on up to @p max available records, in
+     * order. Returns how many were consumed.
+     */
+    template <typename Fn>
+    std::size_t
+    drain(Fn&& fn, std::size_t max = std::size_t(-1))
+    {
+        std::size_t h = head.load(std::memory_order_relaxed);
+        const std::size_t t = tail.load(std::memory_order_acquire);
+        std::size_t n = 0;
+        while (h != t && n < max) {
+            fn(ring[h & mask].instr);
+            ++h;
+            ++n;
+            // Publish per record so the producer can reuse slots
+            // while a large batch is still draining.
+            head.store(h, std::memory_order_release);
+        }
+        return n;
+    }
+
+  private:
+    struct Slot
+    {
+        Instr instr;
+        std::vector<std::uint32_t> idx;
+    };
+
+    std::vector<Slot> ring;
+    std::size_t mask;
+    std::atomic<std::size_t> head{0};
+    std::atomic<std::size_t> tail{0};
+    std::atomic<bool> closed_{false};
+};
+
+/** InstrSink leg that forwards a stream into an InstrFeed. */
+class FeedWriter : public InstrSink
+{
+  public:
+    explicit FeedWriter(InstrFeed& feed) : feed(feed) {}
+
+    void consume(const Instr& instr) override { feed.push(instr); }
+
+  private:
+    InstrFeed& feed;
+};
+
+} // namespace eve
+
+#endif // EVE_SIM_CLOCKED_HH

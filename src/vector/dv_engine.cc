@@ -112,17 +112,22 @@ DVSystem::consumeVector(const Instr& instr)
       case OpClass::VecMemStride:
       case OpClass::VecMemIndex: {
         const bool is_load = isVecLoad(instr.op);
-        planRequestsInto(instr, mem.l2().params().line_bytes, lineBuf);
-        const auto& lines = lineBuf;
         Tick max_done = issue;
         Tick gen = issue;
-        for (const Addr line : lines) {
-            // One request generated + translated per cycle.
-            gen = vmuGen.acquire(gen, clk.period()) + clk.period();
-            const Tick line_done = mem.l2().access(line, !is_load, gen);
-            max_done = std::max(max_done, line_done);
-        }
-        statGroup.add(statVmuLines, double(lines.size()));
+        std::uint64_t nlines = 0;
+        // Stream the request plan straight into the VMU — the plan is
+        // consumed once in order, so the buffer round-trip is pure
+        // overhead on the hottest loop in the engine.
+        forEachRequestLine(
+            instr, mem.l2().params().line_bytes, [&](Addr line) {
+                // One request generated + translated per cycle.
+                gen = vmuGen.acquire(gen, clk.period()) + clk.period();
+                const Tick line_done =
+                    mem.l2().access(line, !is_load, gen);
+                max_done = std::max(max_done, line_done);
+                ++nlines;
+            });
+        statGroup.add(statVmuLines, double(nlines));
         done = is_load ? max_done + clk.period() : gen;
         memLast = std::max(memLast, max_done);
         break;

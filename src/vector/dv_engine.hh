@@ -72,7 +72,6 @@ class DVSystem : public TimingModel
     PipelinedUnits pipeComplex;
     PipelinedUnits pipeIter;
     PipelinedUnits vmuGen;  ///< request generation + translation
-    std::vector<Addr> lineBuf;  ///< reused per-instruction request plan
     std::array<Tick, 32> vregReady{};
     Tick memLast = 0;
     Tick engineLast = 0;

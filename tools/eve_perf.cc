@@ -14,10 +14,19 @@
  *   --workloads a,b   workload names (default: the paper's seven)
  *   --small           small smoke-test inputs
  *   --iters N         measurement iterations (default 1)
+ *   --threads N       job-level worker threads (default 1). With
+ *                     N > 1 the grid runs on a thread pool — right
+ *                     for fast parity runs — and the speed table is
+ *                     suppressed: per-job wall times overlap, so
+ *                     jobs/s would be meaningless.
+ *   --sim-threads N   threads pipelining each simulation (default 1;
+ *                     timing-parity guarded, so a pure wall-clock
+ *                     knob)
  *   --json PATH       write the speed report as JSON
  *   --baseline-jps X  record speedup vs. a baseline jobs/sec
- *   --check PATH      timing-parity check against golden PATH
- *                     (exit 1 and list divergences on failure)
+ *   --parity PATH     timing-parity check against golden PATH
+ *                     (exit 1 and list divergences on failure);
+ *                     --check PATH is the historical spelling
  *   --update PATH     write fresh golden fingerprints to PATH
  *   --quiet           suppress the speed table
  */
@@ -31,6 +40,7 @@
 #include "common/log.hh"
 #include "driver/table.hh"
 #include "exp/perf.hh"
+#include "exp/runner.hh"
 
 using namespace eve;
 
@@ -81,6 +91,8 @@ main(int argc, char** argv)
     bool small = false;
     bool quiet = false;
     unsigned iters = 1;
+    unsigned threads = 1;
+    unsigned sim_threads = 1;
     std::string json_path, check_path, update_path;
     double baseline_jps = 0;
 
@@ -104,11 +116,17 @@ main(int argc, char** argv)
             small = true;
         else if (arg == "--iters")
             iters = unsigned(std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--threads")
+            threads =
+                unsigned(std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--sim-threads")
+            sim_threads =
+                unsigned(std::strtoul(value().c_str(), nullptr, 10));
         else if (arg == "--json")
             json_path = value();
         else if (arg == "--baseline-jps")
             baseline_jps = std::strtod(value().c_str(), nullptr);
-        else if (arg == "--check")
+        else if (arg == "--check" || arg == "--parity")
             check_path = value();
         else if (arg == "--update")
             update_path = value();
@@ -118,8 +136,16 @@ main(int argc, char** argv)
             std::printf(
                 "usage: eve_perf [--systems LIST] [--pf LIST]\n"
                 "  [--workloads LIST] [--small] [--iters N]\n"
+                "  [--threads N] [--sim-threads N]\n"
                 "  [--json PATH] [--baseline-jps X]\n"
-                "  [--check GOLDEN | --update GOLDEN] [--quiet]\n");
+                "  [--parity GOLDEN | --check GOLDEN |\n"
+                "   --update GOLDEN] [--quiet]\n"
+                "\n"
+                "--threads N > 1 runs the grid on a job-level thread\n"
+                "pool (fast parity runs); the speed table and --json\n"
+                "are unavailable because per-job wall times overlap.\n"
+                "--sim-threads N pipelines each simulation; timing is\n"
+                "byte-identical at any value (parity-guarded).\n");
             return 0;
         } else
             fatal("unknown flag '%s' (try --help)", arg.c_str());
@@ -152,10 +178,34 @@ main(int argc, char** argv)
     spec.workloads(workloads, small);
     const auto jobs = spec.jobs();
 
-    const exp::SpeedReport report =
-        exp::measureSimSpeed(jobs, iters);
+    exp::SpeedReport report;
+    if (threads > 1) {
+        // Pooled execution overlaps per-job wall times, so speed
+        // numbers would be meaningless — this mode exists for fast
+        // parity runs over large grids.
+        if (!json_path.empty())
+            fatal("--json needs --threads 1 (speed numbers are only "
+                  "meaningful when jobs run serially)");
+        exp::RunnerOptions ropts;
+        ropts.threads = threads;
+        ropts.sim_threads = sim_threads;
+        report.results = exp::Runner(ropts).run(jobs);
+        for (const auto& r : report.results)
+            if (r.status != exp::JobStatus::Ok)
+                fatal("job '%s' %s%s%s", r.label.c_str(),
+                      exp::jobStatusName(r.status),
+                      r.error.empty() ? "" : ": ", r.error.c_str());
+    } else {
+        report = exp::measureSimSpeed(jobs, iters, sim_threads);
+    }
 
-    if (!quiet) {
+    if (!quiet && threads > 1) {
+        std::fprintf(stderr,
+                     "%zu jobs on %u threads (speed table suppressed; "
+                     "use --threads 1 to measure)\n",
+                     report.results.size(), threads);
+    }
+    if (!quiet && threads <= 1) {
         TextTable table({"system", "jobs", "wall_s", "jobs/s",
                          "ns/cycle"});
         for (const auto& ss : report.per_system)

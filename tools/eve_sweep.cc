@@ -24,6 +24,16 @@
  *   --prefetch  LLC prefetch line depths        (axis)
  *   --workloads workload names (default: all paper workloads)
  *   --threads   worker threads (default: hardware concurrency)
+ *   --sim-threads N  threads pipelining each simulation (default 1).
+ *               Simulated timing is byte-identical at any value
+ *               (parity-guarded), so results and cache keys are
+ *               unaffected — a pure wall-clock knob. Applies to
+ *               in-process lanes and --worker execution alike.
+ *   --parity GOLDEN  after the sweep, check every result's timing
+ *               fingerprint against the golden file (same format and
+ *               semantics as `eve_perf --parity`); exit 1 and list
+ *               divergences on failure. Parity needs fresh Ok runs,
+ *               so combine with --no-cache.
  *   --small     use small smoke-test inputs
  *   --keep-going / --abort-on-failure  failure policy (default keep)
  *   --json PATH write JSON lines        --csv PATH write CSV
@@ -100,6 +110,7 @@
 #include "common/version.hh"
 #include "driver/table.hh"
 #include "exp/exp.hh"
+#include "exp/perf.hh"
 #include "svc/client.hh"
 #include "svc/service.hh"
 #include "workloads/workload.hh"
@@ -214,7 +225,7 @@ main(int argc, char** argv)
     std::vector<std::string> systems = {"O3EVE"};
     std::vector<std::string> workloads = kAllWorkloads;
     std::vector<unsigned> pfs, llc_mshrs, l2_mshrs, dtus, prefetch;
-    std::string json_path, csv_path, payload_path;
+    std::string json_path, csv_path, payload_path, parity_path;
     std::string cache_dir = exp::envCacheDir();
     bool no_cache = false;
     exp::RunnerOptions opts;
@@ -264,6 +275,12 @@ main(int argc, char** argv)
             prefetch = splitUnsigned(flag, need(i)); ++i;
         } else if (flag == "--threads") {
             opts.threads = splitUnsigned(flag, need(i)).front(); ++i;
+        } else if (flag == "--sim-threads") {
+            opts.sim_threads = splitUnsigned(flag, need(i)).front();
+            dist.sim_threads = opts.sim_threads;
+            ++i;
+        } else if (flag == "--parity") {
+            parity_path = need(i); ++i;
         } else if (flag == "--json") {
             json_path = need(i); ++i;
         } else if (flag == "--json-payload") {
@@ -332,6 +349,7 @@ main(int argc, char** argv)
                 "usage: eve_sweep [--systems LIST] [--pf LIST]\n"
                 "  [--llc-mshrs LIST] [--l2-mshrs LIST] [--dtus LIST]\n"
                 "  [--prefetch LIST] [--workloads LIST] [--threads N]\n"
+                "  [--sim-threads N] [--parity GOLDEN]\n"
                 "  [--small] [--keep-going|--abort-on-failure]\n"
                 "  [--json PATH] [--json-payload PATH] [--csv PATH]\n"
                 "  [--cache-dir PATH] [--no-cache] [--quiet]\n"
@@ -341,7 +359,12 @@ main(int argc, char** argv)
                 "  [--worker-id ID] [--lease-timeout SEC]\n"
                 "  [--heartbeat SEC] [--poll SEC] [--join-timeout SEC]\n"
                 "  [--max-attempts N] [--persistent] [--idle-exit SEC]\n"
-                "  [--quiet]\n"
+                "  [--sim-threads N] [--quiet]\n"
+                "\n"
+                "--sim-threads pipelines each simulation; timing is\n"
+                "byte-identical at any value (parity-guarded).\n"
+                "--parity checks result fingerprints against a golden\n"
+                "file, exactly like eve_perf --parity.\n"
                 "       eve_sweep --status --jobs-dir DIR\n"
                 "       eve_sweep --stop --jobs-dir DIR\n"
                 "       eve_sweep --serve --jobs-dir DIR [--socket P]\n"
@@ -615,6 +638,22 @@ main(int argc, char** argv)
                          exp::countStatus(results,
                                           exp::JobStatus::Cached),
                      cache->stores());
+    }
+
+    if (!parity_path.empty()) {
+        const std::string scale = small ? "small" : "full";
+        const auto diffs = exp::ParityFile::load(parity_path)
+                               .check(results, scale);
+        if (!diffs.empty()) {
+            for (const auto& d : diffs)
+                std::fprintf(stderr, "parity: %s\n", d.c_str());
+            fatal("timing parity violated: %zu grid points diverge "
+                  "from %s",
+                  diffs.size(), parity_path.c_str());
+        }
+        std::printf("timing parity: %zu grid points byte-identical "
+                    "to %s\n",
+                    results.size(), parity_path.c_str());
     }
 
     const std::size_t failed =
