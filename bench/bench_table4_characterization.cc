@@ -78,11 +78,16 @@ main()
     // thread-pool (or, with EVE_EXP_JOBS_DIR, distributed)
     // execution, the EVE_EXP_CACHE_DIR result cache, and a JSONL
     // artifact. Expansion order: systems outermost, workloads
-    // innermost.
+    // innermost. With EVE_BENCH_PAPER=1 the grid runs at paper
+    // scale (mmult 1024^3) and defaults to interval sampling —
+    // exact paper-scale runs are possible but pointless for a
+    // characterization table whose error bound is 3%.
     exp::SweepSpec spec;
-    spec.systems(systems).workloads(names, small);
+    spec.systems(systems).workloads(names, bench::benchScale());
     bench::SweepOptions opts;
     opts.artifact = "table4_speedups.jsonl";
+    if (bench::paperRuns() && exp::envSampling().empty())
+        opts.sampling = defaultSampling();
     const auto results = bench::runSweep(spec, opts);
     auto seconds = [&](std::size_t sys, std::size_t w) {
         return results[sys * names.size() + w].result.seconds;

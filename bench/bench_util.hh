@@ -30,6 +30,28 @@ smallRuns()
     return env && env[0] == '1';
 }
 
+/**
+ * Honour EVE_BENCH_PAPER=1 for paper-scale inputs (mmult at
+ * 1024x1024x1024). Meant to be combined with interval sampling
+ * (EVE_EXP_SAMPLE) and checkpoints (EVE_EXP_CKPT_DIR) — see
+ * EXPERIMENTS.md "Sampled simulation".
+ */
+inline bool
+paperRuns()
+{
+    const char* env = std::getenv("EVE_BENCH_PAPER");
+    return env && env[0] == '1';
+}
+
+/** The workload scale tag selected by the EVE_BENCH_* env vars. */
+inline std::string
+benchScale()
+{
+    if (smallRuns())
+        return "small";
+    return paperRuns() ? "paper" : "full";
+}
+
 /** A Table III configuration of the given kind (defaults elsewhere). */
 inline SystemConfig
 makeConfig(SystemKind kind, unsigned pf = 8)
@@ -96,6 +118,20 @@ struct SweepOptions
 
     /** Threads pipelining each simulation; <= 1 runs inline. */
     unsigned sim_threads = 1;
+
+    /**
+     * Interval-sampling schedule applied to every job (see
+     * sim/sampling.hh); disabled default defers to EVE_EXP_SAMPLE.
+     * Sampled results carry their own cache/job keys, so a sampled
+     * bench run never collides with exact records.
+     */
+    SamplingConfig sampling;
+
+    /**
+     * Functional-checkpoint directory for sampled jobs; empty defers
+     * to EVE_EXP_CKPT_DIR.
+     */
+    std::string checkpoint_dir;
 
     /** Die unless every job is Ok/Cached (on by default). */
     bool require_ok = true;
@@ -173,8 +209,20 @@ writeArtifact(const std::vector<exp::JobResult>& results,
 inline std::vector<exp::JobResult>
 runSweep(std::vector<exp::Job> jobs, const SweepOptions& opts = {})
 {
-    for (std::size_t i = 0; i < jobs.size(); ++i)
+    SamplingConfig sampling = opts.sampling;
+    if (!sampling.enabled()) {
+        const std::string spec = exp::envSampling();
+        if (!spec.empty() && !parseSamplingFlag(spec, sampling))
+            fatal("EVE_EXP_SAMPLE: bad spec '%s'", spec.c_str());
+    }
+    const std::string checkpoint_dir = opts.checkpoint_dir.empty()
+                                           ? exp::envCheckpointDir()
+                                           : opts.checkpoint_dir;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
         jobs[i].index = i;
+        if (sampling.enabled())
+            jobs[i].sampling = sampling;
+    }
     const auto cache = envCache(opts.cache_dir);
     std::vector<exp::JobResult> results;
     const std::string jobs_dir =
@@ -187,11 +235,16 @@ runSweep(std::vector<exp::Job> jobs, const SweepOptions& opts = {})
         dist.lanes =
             lanes ? lanes : std::thread::hardware_concurrency();
         dist.sim_threads = opts.sim_threads;
+        dist.checkpoint_dir = checkpoint_dir;
         results = exp::runDistributed(jobs, dist, cache.get());
     } else {
-        results =
-            makeRunner(cache.get(), opts.threads, opts.sim_threads)
-                .run(jobs);
+        exp::RunnerOptions ropts;
+        ropts.threads = opts.threads ? opts.threads
+                                     : exp::envThreads();
+        ropts.sim_threads = opts.sim_threads;
+        ropts.cache = cache.get();
+        ropts.checkpoint_dir = checkpoint_dir;
+        results = exp::Runner(ropts).run(jobs);
     }
     if (opts.require_ok)
         requireAllOk(results);

@@ -12,6 +12,7 @@
 #include "cpu/io_core.hh"
 #include "isa/program.hh"
 #include "cpu/o3_core.hh"
+#include "sim/checkpoint.hh"
 #include "vector/dv_engine.hh"
 #include "vector/iv_engine.hh"
 
@@ -359,12 +360,238 @@ System::run(Workload& workload, unsigned sim_threads)
     return result;
 }
 
+namespace
+{
+
+/** Forwards records from position @p from on (checkpoint skip). */
+class SkipUntilSink : public InstrSink
+{
+  public:
+    SkipUntilSink(InstrSink& inner, std::uint64_t from)
+        : inner(inner), from(from)
+    {
+    }
+
+    void
+    consume(const Instr& instr) override
+    {
+        if (pos++ >= from)
+            inner.consume(instr);
+    }
+
+  private:
+    InstrSink& inner;
+    std::uint64_t from;
+    std::uint64_t pos = 0;
+};
+
+/** Adapts a WarmupFilter to the emission tee. */
+class FilterSink : public InstrSink
+{
+  public:
+    explicit FilterSink(WarmupFilter& filter) : filter(filter) {}
+
+    void consume(const Instr& instr) override
+    {
+        filter.observe(instr);
+    }
+
+  private:
+    WarmupFilter& filter;
+};
+
+} // namespace
+
+RunResult
+System::runSampled(Workload& workload, const SimOptions& opts)
+{
+    workload.init();
+
+    RunResult result;
+    result.system = systemName(cfg);
+    result.workload = workload.name();
+    result.sampled = true;
+
+    const std::uint32_t hw_vl = hwVectorLength();
+
+    // Checkpoint identity: everything the functional state at a
+    // record position depends on — the workload and its inputs, the
+    // hardware vector length (it shapes the emitted stream), the
+    // sampling schedule (it decides the capture position), and the
+    // memory-image size (a workload-generator change shows up here
+    // even when the simulator salt did not move). Scalar systems
+    // have no machine to snapshot, and "custom"-scale workloads have
+    // no reproducible identity, so neither uses checkpoints.
+    std::unique_ptr<CheckpointStore> store;
+    std::string material;
+    const bool reproducible_scale = opts.scale_tag == "small" ||
+                                    opts.scale_tag == "full" ||
+                                    opts.scale_tag == "paper";
+    if (!opts.checkpoint_dir.empty() && hw_vl != 0 &&
+        reproducible_scale) {
+        material = "workload=" + workload.name() +
+                   "|scale=" + opts.scale_tag +
+                   "|vl=" + std::to_string(hw_vl) +
+                   "|mem=" + std::to_string(workload.memory().size()) +
+                   "|" + samplingCanonical(opts.sampling);
+        store = std::make_unique<CheckpointStore>(opts.checkpoint_dir,
+                                                  opts.salt);
+    }
+
+    Checkpoint restored;
+    bool have_restored = false;
+    if (store && store->load(material, restored)) {
+        if (restored.mem.size() == workload.memory().size()) {
+            have_restored = true;
+        } else {
+            warn("checkpoint for %s: memory image %zu bytes != "
+                 "workload's %zu; ignoring",
+                 workload.name().c_str(), restored.mem.size(),
+                 std::size_t(workload.memory().size()));
+        }
+    }
+
+    CountingSink counter;
+    Characterizer characterizer;
+    WarmupFilter filter(hierarchy->l1d().params().line_bytes);
+    FilterSink filter_sink(filter);
+    AddrBiasSink biased_model(*model, addrBias);
+    SamplingController controller(opts.sampling, *model,
+                                  biased_model);
+
+    std::unique_ptr<VecMachine> machine;
+    std::unique_ptr<SkipUntilSink> machine_gate;
+    if (hw_vl != 0) {
+        machine =
+            std::make_unique<VecMachine>(workload.memory(), hw_vl);
+        if (have_restored) {
+            // The machine is memory's only mutator, and its leg is
+            // skipped below for every record before the snapshot
+            // position — so installing the snapshot right after
+            // init() reproduces the cold run's state exactly.
+            workload.memory().data() = restored.mem;
+            machine->restoreState(restored.machine);
+            result.checkpoint = "restored";
+        }
+        machine_gate = std::make_unique<SkipUntilSink>(
+            *machine, have_restored ? restored.position : 0);
+    }
+
+    // Capture (overwriting) at every fast-forward -> detailed
+    // boundary past what a restored snapshot already covers; the
+    // final capture — the last boundary of the stream — is what gets
+    // saved, maximizing the machine work the next run skips.
+    Checkpoint capture;
+    bool captured = false;
+    controller.on_detail_entry = [&](std::uint64_t pos) {
+        filter.applyTo(hierarchy->llc());
+        filter.applyTo(hierarchy->l2());
+        filter.applyTo(hierarchy->l1d());
+        if (store && machine &&
+            (!have_restored || pos > restored.position)) {
+            capture.position = pos;
+            capture.machine = machine->saveState();
+            capture.mem = workload.memory().data();
+            captured = true;
+        }
+    };
+
+    // The sampled tee. Order matters: the controller's boundary hook
+    // must observe the functional state produced by records [0, pos)
+    // only, so the machine's (gated) leg runs *after* the
+    // controller; the timing models are pure consumers of generator-
+    // produced records, so they never miss the machine's results.
+    TeeSink tee;
+    tee.attach(&counter);
+    tee.attach(&characterizer);
+    tee.attach(&controller);
+    tee.attach(&filter_sink);
+    if (machine_gate)
+        tee.attach(machine_gate.get());
+    if (hw_vl == 0)
+        workload.emitScalar(tee);
+    else
+        workload.emitVector(tee, hw_vl);
+    result.instrs = counter.total;
+    result.vecInstrs = characterizer.vecInstrs;
+    result.vecElemOps = characterizer.vecOps;
+
+    result.mismatches = hw_vl == 0 ? 0 : workload.verify();
+    model->finish();
+    controller.finalize(model->finalTick());
+
+    const SampleStats& sampled = controller.stats();
+    result.sample_windows = sampled.windows;
+    result.sampled_measured_instrs = sampled.measured_instrs;
+    result.sampled_measured_ticks = sampled.measured_ticks;
+    if (sampled.measured_instrs == 0)
+        warn("%s on %s: stream too short to measure a sampling "
+             "window; reporting the detailed-path frontier",
+             result.workload.c_str(), result.system.c_str());
+
+    auto collect = [&](StatGroup& group) {
+        for (const auto& [stat, value] : group.sorted())
+            result.stats[group.name() + "." + stat] = value;
+    };
+    collect(model->stats());
+    collect(hierarchy->l1i().stats());
+    collect(hierarchy->l1d().stats());
+    collect(hierarchy->l2().stats());
+    if (!sharedStatsDeferred) {
+        collect(hierarchy->llc().stats());
+        collect(hierarchy->dram().stats());
+    }
+    result.total_ticks =
+        extrapolatedTicks(sampled, double(model->finalTick()));
+    result.cycles = result.total_ticks /
+                    (model->clockNs() * ticksPerNs);
+    result.seconds = result.total_ticks / (ticksPerNs * 1e9);
+    if (eve) {
+        result.has_breakdown = true;
+        result.breakdown = eve->breakdown();
+        result.vmu_cache_stall_ticks = eve->vmuCacheStallTicks();
+    }
+    if (result.mismatches)
+        warn("%s on %s: %llu functional mismatches",
+             result.workload.c_str(), result.system.c_str(),
+             (unsigned long long)result.mismatches);
+
+    // Persist the snapshot only from a clean run: a mismatching
+    // functional state must never seed future runs.
+    if (captured && result.mismatches == 0) {
+        store->save(material, capture);
+        if (result.checkpoint.empty())
+            result.checkpoint = "saved";
+    }
+    return result;
+}
+
+RunResult
+System::run(Workload& workload, const SimOptions& opts)
+{
+    if (!opts.sampling.enabled())
+        return run(workload, opts.sim_threads);
+    // Sampled runs always consume inline: the controller is a
+    // single-consumer sink and the schedule depends only on record
+    // position, so the result is byte-identical at any requested
+    // sim-thread count.
+    return runSampled(workload, opts);
+}
+
 RunResult
 runWorkload(const SystemConfig& config, Workload& workload,
             unsigned sim_threads)
 {
     System system(config);
     return system.run(workload, sim_threads);
+}
+
+RunResult
+runWorkload(const SystemConfig& config, Workload& workload,
+            const SimOptions& opts)
+{
+    System system(config);
+    return system.run(workload, opts);
 }
 
 std::pair<RunResult, RunResult>

@@ -16,6 +16,7 @@
 #include "core/engine/eve_engine.hh"
 #include "cpu/timing_model.hh"
 #include "mem/hierarchy.hh"
+#include "sim/sampling.hh"
 #include "workloads/workload.hh"
 
 namespace eve
@@ -72,6 +73,38 @@ std::uint64_t configFingerprint(const SystemConfig& config);
  */
 bool parseConfigCanonical(const std::string& text, SystemConfig& out);
 
+/**
+ * How to run one simulation: threading, the sampling schedule, and
+ * (for sampled runs) where functional checkpoints live. The plain
+ * default — exact inline simulation — is what the historical
+ * run(workload, sim_threads) entry points forward to.
+ */
+struct SimOptions
+{
+    /** Threads pipelining one simulation; <= 1 runs inline. Sampled
+     * runs always consume inline (the controller is a single-
+     * consumer sink), so this only affects exact runs. */
+    unsigned sim_threads = 1;
+
+    /** Disabled (exact) by default. */
+    SamplingConfig sampling;
+
+    /**
+     * Directory for functional checkpoints ("" = none). Only used by
+     * sampled vector runs whose scale_tag names a reproducible
+     * workload scale (small/full/paper) — "custom" workloads have no
+     * stable identity to key a snapshot by.
+     */
+    std::string checkpoint_dir;
+
+    /** Workload scale for checkpoint identity (small/full/paper). */
+    std::string scale_tag;
+
+    /** Simulator salt stamped into checkpoint files (the caller
+     * passes exp::kSimulatorSalt; sim/ cannot depend on exp/). */
+    std::string salt;
+};
+
 /** Result of one (system, workload) simulation. */
 struct RunResult
 {
@@ -88,6 +121,26 @@ struct RunResult
 
     std::uint64_t vecInstrs = 0;   ///< dynamic vector instructions
     std::uint64_t vecElemOps = 0;  ///< vector element operations
+
+    /**
+     * Sampled-run provenance. When @ref sampled is set, cycles /
+     * seconds / total_ticks are extrapolated from the measured
+     * windows and @ref stats covers only the detailed intervals
+     * (raw, unscaled — documented in EXPERIMENTS.md). Exact runs
+     * leave all of this at defaults and serialize without it, so
+     * their records stay byte-identical to historical ones.
+     */
+    bool sampled = false;
+    std::uint64_t sample_windows = 0;
+    std::uint64_t sampled_measured_instrs = 0;
+    std::uint64_t sampled_measured_ticks = 0;
+
+    /**
+     * Checkpoint action this run took: "", "saved", or "restored".
+     * Diagnostic only — never serialized, so cold and restored runs
+     * produce byte-identical records.
+     */
+    std::string checkpoint;
 
     /** Flattened "<group>.<stat>" counters from every component. */
     std::map<std::string, double> stats;
@@ -136,6 +189,19 @@ class System
      */
     RunResult run(Workload& workload, unsigned sim_threads = 1);
 
+    /**
+     * Full-options form. With opts.sampling disabled this is exactly
+     * run(workload, opts.sim_threads); with it enabled the run is
+     * sampled: the stream fast-forwards between detailed intervals,
+     * cycles/seconds/total_ticks are extrapolated from the measured
+     * windows, and (when opts.checkpoint_dir is set and the workload
+     * scale is reproducible) the functional state at the last
+     * detailed-window entry is checkpointed / restored through a
+     * CheckpointStore. Restored runs are byte-identical to cold
+     * ones.
+     */
+    RunResult run(Workload& workload, const SimOptions& opts);
+
     TimingModel& timing() { return *model; }
     MemHierarchy& memory() { return *hierarchy; }
 
@@ -174,6 +240,9 @@ class System
     void emitTrace(Workload& workload, InstrSink& model_leg,
                    std::uint32_t hw_vl, RunResult& result);
 
+    /** The sampled-simulation body of run(workload, opts). */
+    RunResult runSampled(Workload& workload, const SimOptions& opts);
+
     SystemConfig cfg;
     std::unique_ptr<MemHierarchy> hierarchy;
     std::unique_ptr<TimingModel> model;
@@ -185,6 +254,10 @@ class System
 /** Convenience: build a fresh system and run one workload. */
 RunResult runWorkload(const SystemConfig& config, Workload& workload,
                       unsigned sim_threads = 1);
+
+/** Full-options convenience form (see System::run(.., SimOptions)). */
+RunResult runWorkload(const SystemConfig& config, Workload& workload,
+                      const SimOptions& opts);
 
 /**
  * Run two workloads on two cores that share the LLC and the DRAM

@@ -28,6 +28,12 @@ jobKeyMaterial(const Job& job, const std::string& salt)
     // every previously stored key — unchanged.
     if (!job.variant.empty())
         material += "|variant=" + job.variant;
+    // Sampled jobs likewise append their schedule: a sampled result
+    // must never be served for an exact job (or vice versa, or for a
+    // differently-sampled one), while exact jobs keep their
+    // historical keys.
+    if (job.sampling.enabled())
+        material += "|sampling=" + samplingCanonical(job.sampling);
     return material;
 }
 
@@ -111,6 +117,16 @@ parseResultJson(const std::string& json, JobResult& out)
     res.vecInstrs = std::uint64_t(numberField(root, "vec_instrs"));
     res.vecElemOps =
         std::uint64_t(numberField(root, "vec_elem_ops"));
+    if (const JsonValue* v = root.find("sampled");
+        v && v->type == JsonValue::Type::Bool && v->boolean) {
+        res.sampled = true;
+        res.sample_windows =
+            std::uint64_t(numberField(root, "sample_windows"));
+        res.sampled_measured_instrs = std::uint64_t(
+            numberField(root, "sampled_measured_instrs"));
+        res.sampled_measured_ticks = std::uint64_t(
+            numberField(root, "sampled_measured_ticks"));
+    }
     if (const JsonValue* v = root.find("stats");
         v && v->type == JsonValue::Type::Object) {
         for (const auto& [name, value] : v->members) {

@@ -138,6 +138,7 @@ distJobText(const DistJob& job)
     out += "workload=" + job.workload + "\n";
     out += "scale=" + job.scale + "\n";
     out += "config=" + job.config + "\n";
+    out += "sampling=" + job.sampling + "\n";
     out += "attempts=" + std::to_string(job.attempts) + "\n";
     out += "remote=" + std::string(job.remote ? "1" : "0") + "\n";
     return out;
@@ -151,7 +152,7 @@ parseDistJob(const std::string& text, DistJob& out)
     std::vector<std::string> lines;
     while (std::getline(is, line))
         lines.push_back(line);
-    if (lines.size() != 8)
+    if (lines.size() != 9)
         return false;
 
     DistJob job;
@@ -162,8 +163,9 @@ parseDistJob(const std::string& text, DistJob& out)
         !lineValue(lines[3], "workload", job.workload) ||
         !lineValue(lines[4], "scale", job.scale) ||
         !lineValue(lines[5], "config", job.config) ||
-        !lineValue(lines[6], "attempts", attempts_s) ||
-        !lineValue(lines[7], "remote", remote_s))
+        !lineValue(lines[6], "sampling", job.sampling) ||
+        !lineValue(lines[7], "attempts", attempts_s) ||
+        !lineValue(lines[8], "remote", remote_s))
         return false;
     char* end = nullptr;
     job.index = std::strtoull(index_s.c_str(), &end, 10);
@@ -194,13 +196,18 @@ rebuildJob(const DistJob& dist, Job& out)
     job.scale = dist.scale;
     if (!parseConfigCanonical(dist.config, job.config))
         return false;
-    if (dist.scale != "small" && dist.scale != "full")
+    // The strict inverse parse applies to the sampling schedule too:
+    // text this binary cannot reproduce canonically is refused, not
+    // half-applied.
+    if (!parseSamplingCanonical(dist.sampling, job.sampling))
         return false;
-    const bool small = dist.scale == "small";
     const std::string name = dist.workload;
-    if (!makeWorkload(name, small))
+    const std::string scale = dist.scale;
+    if (!makeWorkloadScaled(name, scale))
         return false;
-    job.make = [name, small] { return makeWorkload(name, small); };
+    job.make = [name, scale] {
+        return makeWorkloadScaled(name, scale);
+    };
     // The recomputed content key must equal the orchestrator's: a
     // mismatch means this binary's salt, SystemConfig layout, or key
     // scheme diverged, and running the job would publish
@@ -297,15 +304,15 @@ JobsDir::materialize(const std::vector<Job>& jobs)
         dist.workload = job.workload;
         dist.scale = job.scale;
         dist.config = configCanonical(job.config);
+        dist.sampling = samplingCanonical(job.sampling);
         dist.attempts = 0;
         // Spec-less workers can only run jobs they can rebuild from
         // the file: standard-scale library workloads with no custom
         // executor. Everything else stays local to processes holding
         // the in-memory Job.
         dist.remote = !job.exec &&
-                      (job.scale == "small" || job.scale == "full") &&
-                      makeWorkload(job.workload,
-                                   job.scale == "small") != nullptr;
+                      makeWorkloadScaled(job.workload,
+                                         job.scale) != nullptr;
         atomicWriteFile(pendingDir() + "/" + file, distJobText(dist));
         ++created;
     }
@@ -825,7 +832,8 @@ runDistWorker(const DistOptions& opts,
         }
 
         JobResult r;
-        runJob(job, r, dir.options().sim_threads);
+        runJob(job, r, dir.options().sim_threads,
+               dir.options().checkpoint_dir);
         ++report.executed;
         dir.publishResult(dist, r);
         if (dir.options().progress) {

@@ -83,8 +83,13 @@
 namespace eve::exp
 {
 
-/** Bumped whenever the on-disk protocol changes incompatibly. */
-inline constexpr const char* kDistProtocolVersion = "eve-dist-v1";
+/**
+ * Bumped whenever the on-disk protocol changes incompatibly.
+ * v2: job files carry a sampling= line (interval-sampled sweeps) and
+ * scale may be "paper" — v1 binaries would quarantine the job files
+ * one by one, so the manifest version stops them up front instead.
+ */
+inline constexpr const char* kDistProtocolVersion = "eve-dist-v2";
 
 class ResultCache;
 
@@ -140,6 +145,12 @@ struct DistOptions
      */
     unsigned sim_threads = 1;
 
+    /**
+     * Directory for functional-state checkpoints ("" = none),
+     * used by locally-executed sampled jobs (see RunnerOptions).
+     */
+    std::string checkpoint_dir;
+
     /** Per locally-executed job; serialized. done/total are counts
      *  of *locally* executed jobs, not sweep-wide state. */
     ProgressFn progress;
@@ -154,6 +165,10 @@ struct DistJob
     std::string workload; ///< workload name (makeWorkload)
     std::string scale;    ///< "small" / "full" / custom tag
     std::string config;   ///< configCanonical text
+
+    /** samplingCanonical text; "" = exact simulation. */
+    std::string sampling;
+
     unsigned attempts = 0;
     bool remote = false;  ///< rebuildable by spec-less workers
 };

@@ -9,6 +9,11 @@
  *   EVE_EXP_CACHE_DIR  result-cache directory (unset = caching off)
  *   EVE_EXP_JOBS_DIR   distributed-sweep jobs directory (unset =
  *                      in-process execution; see exp/dist.hh)
+ *   EVE_EXP_SAMPLE     interval-sampling schedule for bench sweeps:
+ *                      "default" or a --sample spec (unset = exact;
+ *                      see sim/sampling.hh)
+ *   EVE_EXP_CKPT_DIR   functional-checkpoint directory for sampled
+ *                      runs (unset = no checkpoints)
  */
 
 #ifndef EVE_EXP_EXP_HH
@@ -50,6 +55,22 @@ inline std::string
 envJobsDir()
 {
     const char* env = std::getenv("EVE_EXP_JOBS_DIR");
+    return (env && env[0]) ? env : "";
+}
+
+/** Sampling spec text from EVE_EXP_SAMPLE ("" = exact). */
+inline std::string
+envSampling()
+{
+    const char* env = std::getenv("EVE_EXP_SAMPLE");
+    return (env && env[0]) ? env : "";
+}
+
+/** Checkpoint directory from EVE_EXP_CKPT_DIR ("" = off). */
+inline std::string
+envCheckpointDir()
+{
+    const char* env = std::getenv("EVE_EXP_CKPT_DIR");
     return (env && env[0]) ? env : "";
 }
 

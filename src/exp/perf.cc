@@ -8,6 +8,7 @@
 #include "common/bits.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "exp/cache.hh"
 #include "exp/sink.hh"
 
 namespace eve::exp
@@ -190,7 +191,8 @@ ParityFile::check(const std::vector<JobResult>& results,
 
 SpeedReport
 measureSimSpeed(const std::vector<Job>& jobs, unsigned iters,
-                unsigned sim_threads)
+                unsigned sim_threads,
+                const std::string& checkpoint_dir)
 {
     if (iters == 0)
         iters = 1;
@@ -210,8 +212,14 @@ measureSimSpeed(const std::vector<Job>& jobs, unsigned iters,
             if (!workload)
                 fatal("simspeed: unknown workload '%s'",
                       job.workload.c_str());
+            SimOptions sopts;
+            sopts.sim_threads = sim_threads;
+            sopts.sampling = job.sampling;
+            sopts.checkpoint_dir = checkpoint_dir;
+            sopts.scale_tag = job.scale;
+            sopts.salt = kSimulatorSalt;
             const auto start = std::chrono::steady_clock::now();
-            r.result = runWorkload(job.config, *workload, sim_threads);
+            r.result = runWorkload(job.config, *workload, sopts);
             const double wall =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)

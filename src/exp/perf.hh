@@ -140,10 +140,14 @@ struct SpeedReport
  * @p sim_threads > 1 pipelines each simulation (System::run) — jobs
  * still execute one at a time, so attribution stays exact while the
  * intra-sim speedup shows up directly in jobs/s.
+ * Jobs with a sampling schedule run sampled (this is how the
+ * sampling speedup itself is measured); @p checkpoint_dir, when
+ * non-empty, lets those jobs save/restore functional checkpoints.
  */
 SpeedReport measureSimSpeed(const std::vector<Job>& jobs,
                             unsigned iters = 1,
-                            unsigned sim_threads = 1);
+                            unsigned sim_threads = 1,
+                            const std::string& checkpoint_dir = "");
 
 /**
  * Render @p report as a JSON object. @p baseline_jobs_per_sec > 0

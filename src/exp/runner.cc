@@ -47,7 +47,8 @@ Runner::run(const SweepSpec& spec) const
 }
 
 void
-runJob(const Job& job, JobResult& out, unsigned sim_threads)
+runJob(const Job& job, JobResult& out, unsigned sim_threads,
+       const std::string& checkpoint_dir)
 {
     out.index = job.index;
     out.label = job.label;
@@ -64,8 +65,13 @@ runJob(const Job& job, JobResult& out, unsigned sim_threads)
             if (!workload)
                 throw std::runtime_error("unknown workload '" +
                                          job.workload + "'");
-            out.result = runWorkload(job.config, *workload,
-                                     sim_threads);
+            SimOptions sopts;
+            sopts.sim_threads = sim_threads;
+            sopts.sampling = job.sampling;
+            sopts.checkpoint_dir = checkpoint_dir;
+            sopts.scale_tag = job.scale;
+            sopts.salt = kSimulatorSalt;
+            out.result = runWorkload(job.config, *workload, sopts);
         }
         out.status = out.result.mismatches ? JobStatus::Mismatch
                                            : JobStatus::Ok;
@@ -134,7 +140,8 @@ Runner::run(const std::vector<Job>& jobs) const
                 if (p >= pending.size())
                     return;
                 const std::size_t i = pending[p];
-                runJob(jobs[i], results[i], opts.sim_threads);
+                runJob(jobs[i], results[i], opts.sim_threads,
+                       opts.checkpoint_dir);
                 if (results[i].status == JobStatus::Failed &&
                     opts.on_failure == FailurePolicy::Abort) {
                     stop.store(true, std::memory_order_release);

@@ -96,6 +96,15 @@ struct RunnerOptions
      * are stored back after the run. See exp/cache.hh.
      */
     ResultCache* cache = nullptr;
+
+    /**
+     * Directory for functional-state checkpoints ("" = none); only
+     * sampled jobs use it. Sweep jobs sharing a (workload, scale,
+     * vector-length, schedule) prefix restore one snapshot instead
+     * of each re-running the functional fast-forward. See
+     * sim/checkpoint.hh.
+     */
+    std::string checkpoint_dir;
 };
 
 /** Executes sweep jobs on a thread pool. */
@@ -127,9 +136,12 @@ std::size_t countStatus(const std::vector<JobResult>& results,
  * into @p out, build and run its workload (or its custom executor),
  * and fold every failure mode into JobStatus — a throwing job
  * becomes Failed with the exception text, never a crash.
- * @p sim_threads threads pipeline each simulation (<= 1 inline).
+ * @p sim_threads threads pipeline each simulation (<= 1 inline);
+ * @p checkpoint_dir, when non-empty, lets sampled jobs save/restore
+ * functional checkpoints (exact jobs ignore it).
  */
-void runJob(const Job& job, JobResult& out, unsigned sim_threads = 1);
+void runJob(const Job& job, JobResult& out, unsigned sim_threads = 1,
+            const std::string& checkpoint_dir = "");
 
 /**
  * Copy the *payload* half of @p record — status, error text, host

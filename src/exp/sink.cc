@@ -63,8 +63,18 @@ resultToJson(const JobResult& r, bool include_host_time)
            << ",\"instrs\":" << res.instrs
            << ",\"mismatches\":" << res.mismatches
            << ",\"vec_instrs\":" << res.vecInstrs
-           << ",\"vec_elem_ops\":" << res.vecElemOps
-           << ",\"stats\":" << statsToJson(res.stats);
+           << ",\"vec_elem_ops\":" << res.vecElemOps;
+        // Sampled provenance is only present on sampled runs, so
+        // exact records keep their historical bytes.
+        if (res.sampled) {
+            os << ",\"sampled\":true"
+               << ",\"sample_windows\":" << res.sample_windows
+               << ",\"sampled_measured_instrs\":"
+               << res.sampled_measured_instrs
+               << ",\"sampled_measured_ticks\":"
+               << res.sampled_measured_ticks;
+        }
+        os << ",\"stats\":" << statsToJson(res.stats);
         if (res.has_breakdown) {
             const EveBreakdown& b = res.breakdown;
             os << ",\"breakdown\":{"

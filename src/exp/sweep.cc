@@ -48,6 +48,27 @@ SweepSpec::workloads(const std::vector<std::string>& names, bool small)
     return *this;
 }
 
+SweepSpec&
+SweepSpec::workloads(const std::vector<std::string>& names,
+                     const std::string& scale)
+{
+    for (const auto& name : names) {
+        workload_list.push_back(
+            {name, scale,
+             [name, scale]() {
+                 return makeWorkloadScaled(name, scale);
+             }});
+    }
+    return *this;
+}
+
+SweepSpec&
+SweepSpec::sampling(const SamplingConfig& cfg)
+{
+    sampling_cfg = cfg;
+    return *this;
+}
+
 void
 SweepSpec::expand(
     const std::function<void(
@@ -144,6 +165,7 @@ SweepSpec::jobs() const
             job.scale = w.scale;
             job.make = w.make;
             job.axes = axes;
+            job.sampling = sampling_cfg;
             out.push_back(std::move(job));
         }
     });

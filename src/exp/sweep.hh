@@ -87,6 +87,15 @@ struct Job
      * caches stay valid.
      */
     std::string variant;
+
+    /**
+     * Interval-sampling schedule for this job; disabled (exact
+     * simulation) by default. An enabled schedule is folded into the
+     * job's content key — sampled and exact results never share a
+     * cache entry — and rides the distributed protocol, so remote
+     * workers reproduce the identical sampled run.
+     */
+    SamplingConfig sampling;
 };
 
 /** Declarative cartesian sweep over configs, axes, and workloads. */
@@ -137,6 +146,19 @@ class SweepSpec
                          bool small);
 
     /**
+     * Append the named workloads at a named reproducible scale
+     * ("small", "full", or "paper") via eve::makeWorkloadScaled.
+     */
+    SweepSpec& workloads(const std::vector<std::string>& names,
+                         const std::string& scale);
+
+    /**
+     * Sampling schedule stamped onto every expanded job (exact runs
+     * when disabled, the default).
+     */
+    SweepSpec& sampling(const SamplingConfig& cfg);
+
+    /**
      * Every base configuration with every axis override applied, in
      * expansion order (no workload dimension). Used by harnesses
      * that only need the configuration grid (e.g. Table III).
@@ -169,6 +191,7 @@ class SweepSpec
     std::vector<SystemConfig> base_systems;
     std::vector<Axis> axis_list;
     std::vector<NamedWorkload> workload_list;
+    SamplingConfig sampling_cfg;
 };
 
 } // namespace eve::exp

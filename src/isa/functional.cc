@@ -69,6 +69,34 @@ VecMachine::setElem(unsigned reg, std::uint32_t idx, std::int32_t value)
     vregs[reg][idx] = value;
 }
 
+VecMachineState
+VecMachine::saveState() const
+{
+    VecMachineState state;
+    state.vlmax = hwVl;
+    state.vl = vl;
+    state.scalarResult = scalarResult;
+    state.vregs = vregs;
+    return state;
+}
+
+void
+VecMachine::restoreState(const VecMachineState& state)
+{
+    if (state.vlmax != hwVl || state.vregs.size() != vregs.size())
+        panic("VecMachine::restoreState: snapshot shape (vlmax %u, "
+              "%zu regs) does not match machine (vlmax %u, %zu regs)",
+              state.vlmax, state.vregs.size(), hwVl, vregs.size());
+    for (const auto& reg : state.vregs)
+        if (reg.size() != hwVl)
+            panic("VecMachine::restoreState: register width %zu != "
+                  "vlmax %u",
+                  reg.size(), hwVl);
+    vl = state.vl;
+    scalarResult = state.scalarResult;
+    vregs = state.vregs;
+}
+
 bool
 VecMachine::active(const Instr& instr, std::uint32_t i) const
 {

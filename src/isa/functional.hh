@@ -36,10 +36,23 @@ class ByteMem
     std::int32_t* wordPtr(Addr addr);
     const std::int32_t* wordPtr(Addr addr) const;
 
+    /** Whole-image access (checkpoint serialization). */
+    std::vector<std::uint8_t>& data() { return bytes; }
+    const std::vector<std::uint8_t>& data() const { return bytes; }
+
   private:
     void check(Addr addr) const;
 
     std::vector<std::uint8_t> bytes;
+};
+
+/** Snapshot of a VecMachine's architectural state (checkpoints). */
+struct VecMachineState
+{
+    std::uint32_t vlmax = 0;
+    std::uint32_t vl = 0;
+    std::int32_t scalarResult = 0;
+    std::vector<std::vector<std::int32_t>> vregs;
 };
 
 /**
@@ -74,6 +87,15 @@ class VecMachine : public InstrSink
 
     /** Value captured by the last VMvXS. */
     std::int32_t lastScalarResult() const { return scalarResult; }
+
+    /** Snapshot the architectural state (checkpoint capture). */
+    VecMachineState saveState() const;
+
+    /**
+     * Install a snapshot; panics on a vlmax or register-shape
+     * mismatch (a checkpoint from a differently-configured machine).
+     */
+    void restoreState(const VecMachineState& state);
 
   private:
     bool active(const Instr& instr, std::uint32_t i) const;

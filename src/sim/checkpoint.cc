@@ -1,0 +1,181 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/bits.hh"
+#include "common/fs.hh"
+#include "common/log.hh"
+
+namespace eve
+{
+
+namespace
+{
+
+constexpr const char* kCkptMagic = "eve-ckpt-v1";
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)v);
+    return buf;
+}
+
+void
+appendU32(std::string& out, std::uint32_t v)
+{
+    char raw[4];
+    std::memcpy(raw, &v, 4);
+    out.append(raw, 4);
+}
+
+/**
+ * Parse "name=1234\n" at @p at; advances @p at past the newline.
+ * False on any deviation.
+ */
+bool
+takeField(const std::string& text, std::size_t& at,
+          const std::string& name, std::uint64_t& out)
+{
+    const std::string prefix = name + "=";
+    if (text.compare(at, prefix.size(), prefix) != 0)
+        return false;
+    at += prefix.size();
+    const std::size_t nl = text.find('\n', at);
+    if (nl == std::string::npos || nl == at)
+        return false;
+    char* end = nullptr;
+    out = std::strtoull(text.c_str() + at, &end, 10);
+    if (!end || end != text.c_str() + nl)
+        return false;
+    at = nl + 1;
+    return true;
+}
+
+bool
+takeLine(const std::string& text, std::size_t& at, std::string& out)
+{
+    const std::size_t nl = text.find('\n', at);
+    if (nl == std::string::npos)
+        return false;
+    out = text.substr(at, nl - at);
+    at = nl + 1;
+    return true;
+}
+
+} // namespace
+
+CheckpointStore::CheckpointStore(std::string dir, std::string salt)
+    : dir(std::move(dir)), salt(std::move(salt))
+{
+}
+
+std::string
+CheckpointStore::pathFor(const std::string& material) const
+{
+    return dir + "/ck-" + hex16(fnv1a64(material)) + ".ckpt";
+}
+
+bool
+CheckpointStore::load(const std::string& material,
+                      Checkpoint& out) const
+{
+    const std::string path = pathFor(material);
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+
+    // Parse the header; any deviation quarantines the file.
+    auto reject = [&](const char* why) {
+        const std::string to = path + ".quarantine";
+        renameFile(path, to);
+        warn("checkpoint %s: %s; quarantined to %s", path.c_str(),
+             why, to.c_str());
+        return false;
+    };
+
+    std::size_t at = 0;
+    std::string line;
+    if (!takeLine(text, at, line) || line != kCkptMagic)
+        return reject("unrecognized format (bad magic)");
+    if (!takeLine(text, at, line) || line.rfind("salt=", 0) != 0)
+        return reject("malformed salt line");
+    if (line.substr(5) != salt)
+        return reject("simulator salt skew (written by a binary "
+                      "with different simulated timing)");
+    if (!takeLine(text, at, line) || line.rfind("material=", 0) != 0)
+        return reject("malformed material line");
+    if (line.substr(9) != material)
+        return reject("identity-material mismatch (hash collision "
+                      "or corrupted header)");
+
+    Checkpoint ck;
+    std::uint64_t vl = 0, scalar = 0, vlmax = 0, nregs = 0,
+                  mem_bytes = 0;
+    if (!takeField(text, at, "position", ck.position) ||
+        !takeField(text, at, "vl", vl) ||
+        !takeField(text, at, "scalar", scalar) ||
+        !takeField(text, at, "vlmax", vlmax) ||
+        !takeField(text, at, "vregs", nregs) ||
+        !takeField(text, at, "mem_bytes", mem_bytes))
+        return reject("malformed header field");
+    if (!takeLine(text, at, line) || line != "data")
+        return reject("missing data marker");
+
+    const std::size_t reg_bytes = std::size_t(nregs) * vlmax * 4;
+    if (text.size() - at != reg_bytes + mem_bytes)
+        return reject("payload size mismatch (truncated or torn "
+                      "write)");
+
+    ck.machine.vlmax = std::uint32_t(vlmax);
+    ck.machine.vl = std::uint32_t(vl);
+    ck.machine.scalarResult =
+        std::int32_t(std::uint32_t(scalar));
+    ck.machine.vregs.assign(
+        std::size_t(nregs),
+        std::vector<std::int32_t>(std::size_t(vlmax)));
+    for (auto& reg : ck.machine.vregs) {
+        if (vlmax)
+            std::memcpy(reg.data(), text.data() + at, vlmax * 4);
+        at += vlmax * 4;
+    }
+    ck.mem.resize(mem_bytes);
+    if (mem_bytes)
+        std::memcpy(ck.mem.data(), text.data() + at, mem_bytes);
+    out = std::move(ck);
+    return true;
+}
+
+void
+CheckpointStore::save(const std::string& material,
+                      const Checkpoint& ck) const
+{
+    makeDirs(dir);
+    std::string out;
+    out.reserve(256 +
+                ck.machine.vregs.size() * ck.machine.vlmax * 4 +
+                ck.mem.size());
+    out += kCkptMagic;
+    out += "\nsalt=" + salt;
+    out += "\nmaterial=" + material;
+    out += "\nposition=" + std::to_string(ck.position);
+    out += "\nvl=" + std::to_string(ck.machine.vl);
+    out += "\nscalar=" +
+           std::to_string(std::uint32_t(ck.machine.scalarResult));
+    out += "\nvlmax=" + std::to_string(ck.machine.vlmax);
+    out += "\nvregs=" + std::to_string(ck.machine.vregs.size());
+    out += "\nmem_bytes=" + std::to_string(ck.mem.size());
+    out += "\ndata\n";
+    for (const auto& reg : ck.machine.vregs)
+        for (const std::int32_t v : reg)
+            appendU32(out, std::uint32_t(v));
+    out.append(reinterpret_cast<const char*>(ck.mem.data()),
+               ck.mem.size());
+    atomicWriteFile(pathFor(material), out);
+}
+
+} // namespace eve

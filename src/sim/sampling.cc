@@ -1,0 +1,309 @@
+#include "sim/sampling.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "cpu/timing_model.hh"
+#include "mem/cache.hh"
+
+namespace eve
+{
+
+SamplingConfig
+defaultSampling()
+{
+    // A 2M-record period: 10% measured, 2.5% warmup. Chosen against
+    // the full/paper inputs (EXPERIMENTS.md "Sampled simulation") so
+    // that (a) the measured cycle error stays well under the 3%
+    // acceptance bound and (b) the period is shorter than the
+    // paper-scale streams (~6M records), so fast-forward boundaries
+    // actually fire and checkpoints get captured.
+    SamplingConfig cfg;
+    cfg.interval = 200000;
+    cfg.warmup = 50000;
+    cfg.stride = 10;
+    return cfg;
+}
+
+namespace
+{
+
+/** Valid schedule: see SamplingConfig invariants. */
+bool
+validSampling(const SamplingConfig& cfg)
+{
+    if (!cfg.enabled())
+        return true;
+    if (cfg.stride == 0)
+        return false;
+    // The warmup and measured windows must fit one period.
+    return cfg.warmup + cfg.interval <= cfg.period();
+}
+
+/** "name=1234" -> value; false on malformed key or number. */
+bool
+parseU64Field(const std::string& tok, const char* name,
+              std::uint64_t& out)
+{
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || tok.substr(0, eq) != name)
+        return false;
+    const std::string value = tok.substr(eq + 1);
+    if (value.empty())
+        return false;
+    char* end = nullptr;
+    out = std::strtoull(value.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+std::vector<std::string>
+splitOn(const std::string& text, char sep)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (const char c : text) {
+        if (c == sep) {
+            toks.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    toks.push_back(cur);
+    return toks;
+}
+
+} // namespace
+
+std::string
+samplingCanonical(const SamplingConfig& cfg)
+{
+    if (!cfg.enabled())
+        return "";
+    return "interval=" + std::to_string(cfg.interval) +
+           ";warmup=" + std::to_string(cfg.warmup) +
+           ";stride=" + std::to_string(cfg.stride);
+}
+
+bool
+parseSamplingCanonical(const std::string& text, SamplingConfig& out)
+{
+    if (text.empty()) {
+        out = SamplingConfig{};
+        return true;
+    }
+    const std::vector<std::string> toks = splitOn(text, ';');
+    if (toks.size() != 3)
+        return false;
+    SamplingConfig cfg;
+    if (!parseU64Field(toks[0], "interval", cfg.interval) ||
+        !parseU64Field(toks[1], "warmup", cfg.warmup) ||
+        !parseU64Field(toks[2], "stride", cfg.stride))
+        return false;
+    // The round trip must be exact: the canonical string is the
+    // schedule's content-addressing identity.
+    if (!cfg.enabled() || !validSampling(cfg) ||
+        samplingCanonical(cfg) != text)
+        return false;
+    out = cfg;
+    return true;
+}
+
+bool
+parseSamplingFlag(const std::string& text, SamplingConfig& out)
+{
+    if (text == "default") {
+        out = defaultSampling();
+        return true;
+    }
+    if (text.find('=') != std::string::npos)
+        return parseSamplingCanonical(text, out);
+
+    // Shorthand: "INTERVAL[,WARMUP[,STRIDE]]". An omitted warmup
+    // keeps the default schedule's warmup:interval proportion (1:5)
+    // instead of its absolute value, so "1000" is a valid schedule
+    // rather than one whose inherited warmup dwarfs its period.
+    const std::vector<std::string> toks = splitOn(text, ',');
+    if (toks.empty() || toks.size() > 3)
+        return false;
+    SamplingConfig cfg = defaultSampling();
+    auto number = [](const std::string& tok, std::uint64_t& v) {
+        if (tok.empty())
+            return false;
+        char* end = nullptr;
+        v = std::strtoull(tok.c_str(), &end, 10);
+        return end && *end == '\0';
+    };
+    if (!number(toks[0], cfg.interval))
+        return false;
+    cfg.warmup = cfg.interval / 5;
+    if (toks.size() > 1 && !number(toks[1], cfg.warmup))
+        return false;
+    if (toks.size() > 2 && !number(toks[2], cfg.stride))
+        return false;
+    if (!cfg.enabled() || !validSampling(cfg))
+        return false;
+    out = cfg;
+    return true;
+}
+
+WarmupFilter::WarmupFilter(unsigned line_bytes, std::size_t max_lines)
+    : lineBytes(line_bytes ? line_bytes : 64), maxLines(max_lines)
+{
+}
+
+void
+WarmupFilter::touchLine(Addr line, bool dirty)
+{
+    auto it = map.find(line);
+    if (it != map.end()) {
+        it->second->dirty |= dirty;
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    lru.push_front({line, dirty});
+    map[line] = lru.begin();
+    if (map.size() > maxLines) {
+        map.erase(lru.back().line);
+        lru.pop_back();
+    }
+}
+
+void
+WarmupFilter::observe(const Instr& instr)
+{
+    if (!isMemOp(instr.op))
+        return;
+    const bool store =
+        instr.op == Op::SStore || isVecStore(instr.op);
+    switch (instr.op) {
+      case Op::SLoad:
+      case Op::SStore:
+        touchLine(instr.addr / lineBytes, store);
+        return;
+      case Op::VLoad:
+      case Op::VStore: {
+        // Contiguous: walk lines, not elements.
+        const Addr first = instr.addr / lineBytes;
+        const Addr last = instr.vl
+                              ? (instr.addr + Addr(instr.vl) * 4 - 1) /
+                                    lineBytes
+                              : first;
+        for (Addr line = first; line <= last; ++line)
+            touchLine(line, store);
+        return;
+      }
+      case Op::VLoadStrided:
+      case Op::VStoreStrided:
+        for (std::uint32_t i = 0; i < instr.vl; ++i)
+            touchLine((instr.addr +
+                       Addr(std::int64_t(i) * instr.stride)) /
+                          lineBytes,
+                      store);
+        return;
+      case Op::VLoadIndexed:
+      case Op::VStoreIndexed:
+        if (!instr.indices)
+            return;
+        for (std::uint32_t i = 0; i < instr.vl; ++i)
+            touchLine((instr.addr + instr.indices[i]) / lineBytes,
+                      store);
+        return;
+      default:
+        return;
+    }
+}
+
+void
+WarmupFilter::applyTo(Cache& cache) const
+{
+    const std::size_t capacity =
+        std::size_t(cache.numSets()) * cache.params().assoc;
+    const std::size_t n = std::min(capacity, lru.size());
+    if (n == 0)
+        return;
+    // The hottest n entries are the list's first n; install them
+    // coldest first so the cache's LRU order matches the filter's.
+    std::vector<const Entry*> hot;
+    hot.reserve(n);
+    std::size_t taken = 0;
+    for (const Entry& e : lru) {
+        if (taken++ == n)
+            break;
+        hot.push_back(&e);
+    }
+    const unsigned cache_line = cache.params().line_bytes;
+    for (auto it = hot.rbegin(); it != hot.rend(); ++it) {
+        const Addr byte_addr = (*it)->line * Addr(lineBytes);
+        // Re-line for the target level in case its line size differs
+        // from the filter's granule.
+        cache.touch((byte_addr / cache_line) * cache_line,
+                    (*it)->dirty);
+    }
+}
+
+double
+extrapolatedTicks(const SampleStats& stats, double exact_final_tick)
+{
+    if (stats.measured_instrs == 0 || stats.measured_ticks == 0)
+        return exact_final_tick;
+    return double(stats.measured_ticks) *
+           (double(stats.total_instrs) /
+            double(stats.measured_instrs));
+}
+
+SamplingController::SamplingController(const SamplingConfig& cfg,
+                                       TimingModel& model,
+                                       InstrSink& model_leg)
+    : cfg(cfg), model(model), modelLeg(model_leg)
+{
+}
+
+void
+SamplingController::closeWindow(Tick tick_now)
+{
+    sampleStats.measured_ticks += tick_now - windowTick0;
+    sampleStats.measured_instrs += pos - windowInstr0;
+    ++sampleStats.windows;
+    inMeasure = false;
+}
+
+void
+SamplingController::consume(const Instr& instr)
+{
+    const std::uint64_t off = pos % cfg.period();
+    const bool measure = off < cfg.interval;
+    const bool warm = off >= cfg.period() - cfg.warmup;
+
+    if (measure && !inMeasure) {
+        inMeasure = true;
+        windowTick0 = model.finalTick();
+        windowInstr0 = pos;
+    } else if (!measure && inMeasure) {
+        closeWindow(model.finalTick());
+    }
+
+    if (measure || warm) {
+        if (!inDetail) {
+            inDetail = true;
+            // pos == 0 starts inside window 0 — there is no state to
+            // install or capture at simulation start.
+            if (pos != 0 && on_detail_entry)
+                on_detail_entry(pos);
+        }
+        modelLeg.consume(instr);
+    } else {
+        inDetail = false;
+    }
+    ++pos;
+}
+
+void
+SamplingController::finalize(Tick final_tick)
+{
+    if (inMeasure)
+        closeWindow(final_tick);
+    sampleStats.total_instrs = pos;
+}
+
+} // namespace eve

@@ -45,9 +45,7 @@ submitSweep(const std::vector<exp::Job>& jobs,
         // can only run jobs rebuildable from their serialized form.
         const bool eligible =
             !job.exec &&
-            (job.scale == "small" || job.scale == "full") &&
-            makeWorkload(job.workload, job.scale == "small") !=
-                nullptr;
+            makeWorkloadScaled(job.workload, job.scale) != nullptr;
         if (!eligible) {
             outcome.error = "job \"" + job.label +
                             "\" is not service-eligible (custom "
@@ -62,6 +60,7 @@ submitSweep(const std::vector<exp::Job>& jobs,
         dj.workload = job.workload;
         dj.scale = job.scale;
         dj.config = configCanonical(job.config);
+        dj.sampling = samplingCanonical(job.sampling);
         dj.remote = true;
         req.jobs.push_back(std::move(dj));
         outcome.results.push_back(identityOf(job));

@@ -59,7 +59,13 @@ makeSubmit(const SubmitRequest& req)
                ",\"label\":" + quoted(job.label) +
                ",\"workload\":" + quoted(job.workload) +
                ",\"scale\":" + quoted(job.scale) +
-               ",\"config\":" + quoted(job.config) + "}";
+               ",\"config\":" + quoted(job.config);
+        // Only sampled jobs carry a schedule, so exact submissions
+        // keep their historical bytes (and work against daemons that
+        // simply ignore the extra member).
+        if (!job.sampling.empty())
+            out += ",\"sampling\":" + quoted(job.sampling);
+        out += "}";
     }
     out += "]}";
     return out;
@@ -106,6 +112,7 @@ parseSubmit(const JsonValue& msg, SubmitRequest& out)
         job.workload = jsonStringField(j, "workload");
         job.scale = jsonStringField(j, "scale");
         job.config = jsonStringField(j, "config");
+        job.sampling = jsonStringField(j, "sampling");
         // Pool jobs are always rebuilt from files by spec-less
         // workers; the daemon verifies rebuildability at accept time.
         job.remote = true;

@@ -66,29 +66,44 @@ recordIsOk(const std::string& record)
 
 } // namespace
 
+std::vector<std::string>
+workerArgs(const exp::DistOptions& d)
+{
+    std::vector<std::string> args = {
+        "/proc/self/exe",
+        "--worker",
+        "--jobs-dir", d.jobs_dir,
+        "--persistent",
+        "--lease-timeout", std::to_string(d.lease_timeout_s),
+        "--heartbeat", std::to_string(d.heartbeat_s),
+        "--poll", std::to_string(d.poll_s),
+        "--join-timeout", std::to_string(d.join_timeout_s),
+        "--quiet",
+    };
+    if (d.idle_exit_s > 0) {
+        args.push_back("--idle-exit");
+        args.push_back(std::to_string(d.idle_exit_s));
+    }
+    if (!d.worker_id.empty()) {
+        args.push_back("--worker-id");
+        args.push_back(d.worker_id);
+    }
+    if (d.sim_threads > 1) {
+        args.push_back("--sim-threads");
+        args.push_back(std::to_string(d.sim_threads));
+    }
+    if (!d.checkpoint_dir.empty()) {
+        args.push_back("--checkpoint-dir");
+        args.push_back(d.checkpoint_dir);
+    }
+    return args;
+}
+
 WorkerLauncher
 processLauncher()
 {
     return [](const exp::DistOptions& d) -> WorkerHandle {
-        std::vector<std::string> args = {
-            "/proc/self/exe",
-            "--worker",
-            "--jobs-dir", d.jobs_dir,
-            "--persistent",
-            "--lease-timeout", std::to_string(d.lease_timeout_s),
-            "--heartbeat", std::to_string(d.heartbeat_s),
-            "--poll", std::to_string(d.poll_s),
-            "--join-timeout", std::to_string(d.join_timeout_s),
-            "--quiet",
-        };
-        if (d.idle_exit_s > 0) {
-            args.push_back("--idle-exit");
-            args.push_back(std::to_string(d.idle_exit_s));
-        }
-        if (!d.worker_id.empty()) {
-            args.push_back("--worker-id");
-            args.push_back(d.worker_id);
-        }
+        std::vector<std::string> args = workerArgs(d);
 
         // Built before fork(): the child of a multithreaded parent
         // may only call async-signal-safe functions, so no

@@ -85,6 +85,14 @@ using WorkerLauncher =
  */
 WorkerLauncher processLauncher();
 
+/**
+ * The argv (argv[0] included, no trailing nullptr) processLauncher()
+ * spawns a worker with. Exposed so tests can assert that every
+ * execution-relevant DistOptions field — notably sim_threads and
+ * checkpoint_dir — actually reaches the child process.
+ */
+std::vector<std::string> workerArgs(const exp::DistOptions& d);
+
 struct ServiceOptions
 {
     /** Unix-domain socket path the daemon listens on. */

@@ -49,6 +49,23 @@ makeWorkload(const std::string& name, bool small)
     return nullptr;
 }
 
+std::unique_ptr<Workload>
+makeWorkloadScaled(const std::string& name, const std::string& scale)
+{
+    if (scale == "small")
+        return makeWorkload(name, true);
+    if (scale == "full")
+        return makeWorkload(name, false);
+    if (scale == "paper") {
+        // The paper's input sizes where they exceed the default
+        // "full" inputs; everything else already runs at them.
+        if (name == "mmult")
+            return std::make_unique<MmultWorkload>(1024, 1024, 1024);
+        return makeWorkload(name, false);
+    }
+    return nullptr;
+}
+
 std::vector<std::unique_ptr<Workload>>
 makeAllWorkloads(bool small)
 {

@@ -267,6 +267,17 @@ std::vector<std::unique_ptr<Workload>> makeAllWorkloads(bool small);
 std::unique_ptr<Workload> makeWorkload(const std::string& name,
                                        bool small);
 
+/**
+ * Instantiate one workload at a named reproducible scale: "small",
+ * "full", or "paper" (the paper's input sizes — today that means
+ * mmult at 1024 x 1024 x 1024; other workloads' full inputs already
+ * match the paper's). nullptr on an unknown name *or* scale, so the
+ * distributed protocol's rebuild path refuses scales this binary
+ * cannot reproduce.
+ */
+std::unique_ptr<Workload> makeWorkloadScaled(const std::string& name,
+                                             const std::string& scale);
+
 } // namespace eve
 
 #endif // EVE_WORKLOADS_WORKLOAD_HH

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -96,6 +97,40 @@ TEST(DistJob, TextRoundTripAndRejection)
     DistJob bad_key = job;
     bad_key.key = "short";
     EXPECT_FALSE(parseDistJob(distJobText(bad_key), back));
+}
+
+TEST(DistJob, SamplingRidesTheJobFile)
+{
+    DistJob job;
+    job.index = 7;
+    job.key = "0123456789abcdef";
+    job.label = "O3+EVE-8/mmult";
+    job.workload = "mmult";
+    job.scale = "paper";
+    job.config = "kind=4;eve_pf=8;llc_mshrs=32;l2_mshrs=32;"
+                 "llc_prefetch_lines=0;dtus=8;spawn_ready=0";
+    job.sampling = "interval=1000;warmup=200;stride=8";
+    job.remote = true;
+
+    // The v2 job file is exactly 9 lines, sampling included — even
+    // for exact jobs, whose sampling value is empty.
+    const std::string text = distJobText(job);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 9);
+    EXPECT_NE(text.find("sampling=interval=1000;warmup=200;stride=8"),
+              std::string::npos);
+
+    DistJob back;
+    ASSERT_TRUE(parseDistJob(text, back));
+    EXPECT_EQ(back.sampling, job.sampling);
+    EXPECT_EQ(back.scale, "paper");
+
+    DistJob exact = job;
+    exact.sampling.clear();
+    const std::string exact_text = distJobText(exact);
+    EXPECT_EQ(std::count(exact_text.begin(), exact_text.end(), '\n'),
+              9);
+    ASSERT_TRUE(parseDistJob(exact_text, back));
+    EXPECT_EQ(back.sampling, "");
 }
 
 TEST(DistJob, ConfigCanonicalRoundTrip)

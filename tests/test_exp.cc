@@ -421,6 +421,31 @@ TEST(ResultCacheKey, ScaleComesFromSweepSpec)
     EXPECT_EQ(full_spec.jobs()[0].scale, "full");
 }
 
+TEST(ResultCacheKey, SamplingScheduleSeparatesKeys)
+{
+    const auto jobs = smallGrid().jobs();
+
+    // A sampled job never shares a key with its exact twin, so a
+    // sampled sweep can never serve (or poison) exact cached records.
+    Job sampled = jobs[0];
+    ASSERT_TRUE(parseSamplingFlag("1000,200,8", sampled.sampling));
+    EXPECT_NE(jobKey(jobs[0]), jobKey(sampled));
+
+    // Two different schedules are two different keys.
+    Job other_schedule = jobs[0];
+    ASSERT_TRUE(
+        parseSamplingFlag("500,100,8", other_schedule.sampling));
+    EXPECT_NE(jobKey(sampled), jobKey(other_schedule));
+
+    // The key depends on the schedule's content, not on how the
+    // flag spelled it.
+    Job canonical_spelling = jobs[0];
+    ASSERT_TRUE(parseSamplingCanonical(
+        "interval=1000;warmup=200;stride=8",
+        canonical_spelling.sampling));
+    EXPECT_EQ(jobKey(sampled), jobKey(canonical_spelling));
+}
+
 TEST(ResultCache, JsonRoundTripIsByteExact)
 {
     SweepSpec spec;

@@ -246,6 +246,71 @@ TEST(SvcProto, SubmitRoundTrip)
     }
 }
 
+TEST(SvcProto, SubmitCarriesSamplingOnlyWhenSet)
+{
+    std::vector<Job> jobs = ioJobs({"vvadd"});
+    SubmitRequest req = requestFor(jobs);
+    // Exact jobs serialize without a sampling member at all, so the
+    // submit line is byte-compatible with pre-sampling daemons.
+    EXPECT_EQ(makeSubmit(req).find("\"sampling\""),
+              std::string::npos);
+
+    req.jobs[0].sampling = "interval=1000;warmup=200;stride=8";
+    const std::string line = makeSubmit(req);
+    EXPECT_NE(line.find("\"sampling\""), std::string::npos);
+
+    JsonValue msg;
+    std::string verb;
+    ASSERT_TRUE(parseMessage(line, msg, verb));
+    SubmitRequest back;
+    ASSERT_TRUE(parseSubmit(msg, back));
+    ASSERT_EQ(back.jobs.size(), 1u);
+    EXPECT_EQ(back.jobs[0].sampling,
+              "interval=1000;warmup=200;stride=8");
+}
+
+TEST(SvcService, WorkerArgsForwardExecutionOptions)
+{
+    // Satellite regression: the daemon's spawned workers used to
+    // drop sim_threads (and would have dropped checkpoint_dir) on
+    // the floor — DistOptions carried them, the exec argv did not.
+    exp::DistOptions d;
+    d.jobs_dir = "/pool";
+    d.lease_timeout_s = 60;
+    d.heartbeat_s = 2;
+    d.poll_s = 0.25;
+    d.join_timeout_s = 600;
+
+    auto has_flag = [](const std::vector<std::string>& args,
+                       const std::string& flag,
+                       const std::string& value) {
+        for (std::size_t i = 0; i + 1 < args.size(); ++i)
+            if (args[i] == flag && args[i + 1] == value)
+                return true;
+        return false;
+    };
+
+    // Defaults: no sim-threads (inline) and no checkpoint flags.
+    std::vector<std::string> args = workerArgs(d);
+    ASSERT_FALSE(args.empty());
+    EXPECT_EQ(args[1], "--worker");
+    EXPECT_TRUE(has_flag(args, "--jobs-dir", "/pool"));
+    for (const auto& a : args) {
+        EXPECT_NE(a, "--sim-threads");
+        EXPECT_NE(a, "--checkpoint-dir");
+    }
+
+    d.sim_threads = 4;
+    d.checkpoint_dir = "/ckpt";
+    d.worker_id = "floor-0";
+    d.idle_exit_s = 5;
+    args = workerArgs(d);
+    EXPECT_TRUE(has_flag(args, "--sim-threads", "4"));
+    EXPECT_TRUE(has_flag(args, "--checkpoint-dir", "/ckpt"));
+    EXPECT_TRUE(has_flag(args, "--worker-id", "floor-0"));
+    EXPECT_TRUE(has_flag(args, "--idle-exit", "5.000000"));
+}
+
 TEST(SvcProto, ParseMessageResetsReusedValue)
 {
     // Regression: parseObject appends, so parsing a second message

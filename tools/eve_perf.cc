@@ -13,6 +13,15 @@
  *   --pf N,M          EVE parallelization factors (default 1..32)
  *   --workloads a,b   workload names (default: the paper's seven)
  *   --small           small smoke-test inputs
+ *   --paper           paper-scale inputs (mmult 1024x1024x1024);
+ *                     meant to be combined with --sample
+ *   --sample SPEC     interval sampling (sim/sampling.hh): "default",
+ *                     "INTERVAL[,WARMUP[,STRIDE]]", or the canonical
+ *                     "interval=N;warmup=N;stride=N". Incompatible
+ *                     with --parity/--check/--update: goldens record
+ *                     exact timing.
+ *   --checkpoint-dir PATH  save/restore functional fast-forward
+ *                     checkpoints for sampled jobs under PATH
  *   --iters N         measurement iterations (default 1)
  *   --threads N       job-level worker threads (default 1). With
  *                     N > 1 the grid runs on a thread pool — right
@@ -89,11 +98,13 @@ main(int argc, char** argv)
     std::vector<unsigned> pfs = {1, 2, 4, 8, 16, 32};
     std::vector<std::string> workloads = exp::paperWorkloads();
     bool small = false;
+    bool paper = false;
     bool quiet = false;
     unsigned iters = 1;
     unsigned threads = 1;
     unsigned sim_threads = 1;
     std::string json_path, check_path, update_path;
+    std::string sample_spec, checkpoint_dir;
     double baseline_jps = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -114,6 +125,12 @@ main(int argc, char** argv)
             workloads = splitList(value());
         else if (arg == "--small")
             small = true;
+        else if (arg == "--paper")
+            paper = true;
+        else if (arg == "--sample")
+            sample_spec = value();
+        else if (arg == "--checkpoint-dir")
+            checkpoint_dir = value();
         else if (arg == "--iters")
             iters = unsigned(std::strtoul(value().c_str(), nullptr, 10));
         else if (arg == "--threads")
@@ -135,7 +152,8 @@ main(int argc, char** argv)
         else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: eve_perf [--systems LIST] [--pf LIST]\n"
-                "  [--workloads LIST] [--small] [--iters N]\n"
+                "  [--workloads LIST] [--small | --paper] [--iters N]\n"
+                "  [--sample SPEC] [--checkpoint-dir PATH]\n"
                 "  [--threads N] [--sim-threads N]\n"
                 "  [--json PATH] [--baseline-jps X]\n"
                 "  [--parity GOLDEN | --check GOLDEN |\n"
@@ -172,10 +190,28 @@ main(int argc, char** argv)
         }
     }
 
-    const std::string scale = small ? "small" : "full";
+    if (small && paper)
+        fatal("--small and --paper are mutually exclusive");
+    const std::string scale =
+        paper ? "paper" : (small ? "small" : "full");
+
+    SamplingConfig sampling;
+    if (!sample_spec.empty() &&
+        !parseSamplingFlag(sample_spec, sampling))
+        fatal("--sample: bad spec '%s' (want \"default\", "
+              "\"INTERVAL[,WARMUP[,STRIDE]]\", or "
+              "\"interval=N;warmup=N;stride=N\")",
+              sample_spec.c_str());
+    if (sampling.enabled() &&
+        (!check_path.empty() || !update_path.empty()))
+        fatal("--sample cannot be combined with --parity/--check/"
+              "--update: parity goldens record exact timing "
+              "fingerprints");
+
     exp::SweepSpec spec;
     spec.systems(systems);
-    spec.workloads(workloads, small);
+    spec.workloads(workloads, scale);
+    spec.sampling(sampling);
     const auto jobs = spec.jobs();
 
     exp::SpeedReport report;
@@ -189,6 +225,7 @@ main(int argc, char** argv)
         exp::RunnerOptions ropts;
         ropts.threads = threads;
         ropts.sim_threads = sim_threads;
+        ropts.checkpoint_dir = checkpoint_dir;
         report.results = exp::Runner(ropts).run(jobs);
         for (const auto& r : report.results)
             if (r.status != exp::JobStatus::Ok)
@@ -196,7 +233,8 @@ main(int argc, char** argv)
                       exp::jobStatusName(r.status),
                       r.error.empty() ? "" : ": ", r.error.c_str());
     } else {
-        report = exp::measureSimSpeed(jobs, iters, sim_threads);
+        report = exp::measureSimSpeed(jobs, iters, sim_threads,
+                                      checkpoint_dir);
     }
 
     if (!quiet && threads > 1) {

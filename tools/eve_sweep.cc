@@ -35,6 +35,22 @@
  *               divergences on failure. Parity needs fresh Ok runs,
  *               so combine with --no-cache.
  *   --small     use small smoke-test inputs
+ *   --paper     use paper-scale inputs (mmult 1024x1024x1024); meant
+ *               to be combined with --sample
+ *   --sample SPEC  interval sampling (sim/sampling.hh): "default",
+ *               "INTERVAL[,WARMUP[,STRIDE]]", or the canonical
+ *               "interval=N;warmup=N;stride=N". Cycle counts are
+ *               extrapolated from the measured windows, results are
+ *               tagged sampled, and cache/job keys include the
+ *               schedule so sampled and exact records never mix.
+ *               Incompatible with --parity (goldens are exact).
+ *               Defaults to $EVE_EXP_SAMPLE when set.
+ *   --checkpoint-dir PATH  save/restore functional fast-forward
+ *               checkpoints for sampled jobs under PATH; jobs that
+ *               share a (workload, scale, vector-length, schedule)
+ *               prefix restore one snapshot instead of re-running
+ *               the functional warm-up. Defaults to
+ *               $EVE_EXP_CKPT_DIR when set.
  *   --keep-going / --abort-on-failure  failure policy (default keep)
  *   --json PATH write JSON lines        --csv PATH write CSV
  *   --json-payload PATH  write JSON lines without the host wall-clock
@@ -230,7 +246,10 @@ main(int argc, char** argv)
     bool no_cache = false;
     exp::RunnerOptions opts;
     opts.threads = exp::envThreads();
+    opts.checkpoint_dir = exp::envCheckpointDir();
+    std::string sample_spec = exp::envSampling();
     bool small = false;
+    bool paper = false;
     bool quiet = false;
 
     exp::DistOptions dist;
@@ -293,6 +312,12 @@ main(int argc, char** argv)
             no_cache = true;
         } else if (flag == "--small") {
             small = true;
+        } else if (flag == "--paper") {
+            paper = true;
+        } else if (flag == "--sample") {
+            sample_spec = need(i); ++i;
+        } else if (flag == "--checkpoint-dir") {
+            opts.checkpoint_dir = need(i); ++i;
         } else if (flag == "--quiet") {
             quiet = true;
         } else if (flag == "--keep-going") {
@@ -350,7 +375,9 @@ main(int argc, char** argv)
                 "  [--llc-mshrs LIST] [--l2-mshrs LIST] [--dtus LIST]\n"
                 "  [--prefetch LIST] [--workloads LIST] [--threads N]\n"
                 "  [--sim-threads N] [--parity GOLDEN]\n"
-                "  [--small] [--keep-going|--abort-on-failure]\n"
+                "  [--small | --paper] [--sample SPEC]\n"
+                "  [--checkpoint-dir PATH]\n"
+                "  [--keep-going|--abort-on-failure]\n"
                 "  [--json PATH] [--json-payload PATH] [--csv PATH]\n"
                 "  [--cache-dir PATH] [--no-cache] [--quiet]\n"
                 "  [--jobs-dir DIR [--orchestrate-only]\n"
@@ -359,10 +386,14 @@ main(int argc, char** argv)
                 "  [--worker-id ID] [--lease-timeout SEC]\n"
                 "  [--heartbeat SEC] [--poll SEC] [--join-timeout SEC]\n"
                 "  [--max-attempts N] [--persistent] [--idle-exit SEC]\n"
-                "  [--sim-threads N] [--quiet]\n"
+                "  [--sim-threads N] [--checkpoint-dir PATH] [--quiet]\n"
                 "\n"
                 "--sim-threads pipelines each simulation; timing is\n"
                 "byte-identical at any value (parity-guarded).\n"
+                "--sample runs interval sampling (extrapolated\n"
+                "cycles, keyed separately from exact results);\n"
+                "--checkpoint-dir reuses functional fast-forward\n"
+                "state across sampled jobs.\n"
                 "--parity checks result fingerprints against a golden\n"
                 "file, exactly like eve_perf --parity.\n"
                 "       eve_sweep --status --jobs-dir DIR\n"
@@ -383,6 +414,25 @@ main(int argc, char** argv)
 
     if (socket_path.empty() && !dist.jobs_dir.empty())
         socket_path = dist.jobs_dir + "/daemon.sock";
+
+    if (small && paper)
+        fatal("--small and --paper are mutually exclusive");
+    const std::string scale =
+        paper ? "paper" : (small ? "small" : "full");
+
+    SamplingConfig sampling;
+    if (!sample_spec.empty() &&
+        !parseSamplingFlag(sample_spec, sampling))
+        fatal("--sample: bad spec '%s' (want \"default\", "
+              "\"INTERVAL[,WARMUP[,STRIDE]]\", or "
+              "\"interval=N;warmup=N;stride=N\")",
+              sample_spec.c_str());
+    if (sampling.enabled() && !parity_path.empty())
+        fatal("--sample cannot be combined with --parity: parity "
+              "goldens record exact timing fingerprints");
+    // Workers restore/save checkpoints for the sampled jobs they
+    // claim; the flag rides DistOptions either way.
+    dist.checkpoint_dir = opts.checkpoint_dir;
 
     // ---- distributed utility modes (no sweep construction) ----
     if (mode == Mode::Status) {
@@ -547,7 +597,8 @@ main(int argc, char** argv)
                             [](SystemConfig& c, unsigned v) {
                                 c.llc_prefetch_lines = v;
                             });
-    spec.workloads(workloads, small);
+    spec.workloads(workloads, scale);
+    spec.sampling(sampling);
 
     if (!quiet) {
         opts.progress = [](const exp::JobResult& r, std::size_t done,
@@ -641,7 +692,6 @@ main(int argc, char** argv)
     }
 
     if (!parity_path.empty()) {
-        const std::string scale = small ? "small" : "full";
         const auto diffs = exp::ParityFile::load(parity_path)
                                .check(results, scale);
         if (!diffs.empty()) {
