@@ -28,14 +28,18 @@ main()
         headers.push_back(systemName(cfg));
     TextTable table(headers);
 
-    for (const char* wname : {"spmv", "fir", "scan"}) {
+    std::vector<std::string> names = {"spmv", "fir", "scan"};
+    if (bench::rivecRuns())
+        names.insert(names.end(), {"axpy", "blackscholes",
+                                   "streamcluster", "particlefilter"});
+    for (const std::string& wname : names) {
         double io_seconds = 0.0;
         std::vector<std::string> row = {wname};
         for (const auto& cfg : systems) {
             auto w = makeWorkload(wname, small);
             const RunResult r = runWorkload(cfg, *w);
             if (r.mismatches)
-                fatal("%s failed functionally on %s", wname,
+                fatal("%s failed functionally on %s", wname.c_str(),
                       r.system.c_str());
             if (cfg.kind == SystemKind::IO)
                 io_seconds = r.seconds;

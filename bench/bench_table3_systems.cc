@@ -19,9 +19,10 @@ int
 main()
 {
     std::printf("Table III: simulated systems\n\n");
+    const exp::SweepSpec spec = bench::fig6Sweep(false);
     TextTable table({"system", "clock (ns)", "hw vl", "L2 in vector "
                      "mode", "notes"});
-    for (const auto& cfg : bench::fig6Sweep(false).expandedSystems()) {
+    for (const auto& cfg : spec.expandedSystems()) {
         System sys(cfg);
         std::string notes;
         switch (cfg.kind) {
@@ -61,5 +62,17 @@ main()
                 "32KB/4w 2-cycle (16 MSHRs),\nL2 512KB/8w/8-bank "
                 "8-cycle (32 MSHRs), LLC 2MB/16w 12-cycle (32 MSHRs),"
                 "\nsingle-channel DDR4-2400 (60 ns, 19.2 GB/s)\n");
+
+    std::printf("\nWorkload axis (%zu kernels%s):",
+                spec.workloadCount(),
+                bench::rivecRuns() ? ", EVE_BENCH_RIVEC=1"
+                                   : "");
+    for (const auto& name : spec.workloadNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\n%s", bench::rivecRuns()
+                            ? ""
+                            : "(set EVE_BENCH_RIVEC=1 to append the "
+                              "RiVEC kernels: axpy blackscholes "
+                              "streamcluster particlefilter)\n");
     return 0;
 }

@@ -52,6 +52,19 @@ benchScale()
     return paperRuns() ? "paper" : "full";
 }
 
+/**
+ * Honour EVE_BENCH_RIVEC=1: append the RiVEC-style extension
+ * kernels (axpy, blackscholes, streamcluster, particlefilter) to
+ * the Figure 6 / Table III workload axis. Off by default so the
+ * BENCH_* speed and parity trajectories stay comparable across PRs.
+ */
+inline bool
+rivecRuns()
+{
+    const char* env = std::getenv("EVE_BENCH_RIVEC");
+    return env && env[0] == '1';
+}
+
 /** A Table III configuration of the given kind (defaults elsewhere). */
 inline SystemConfig
 makeConfig(SystemKind kind, unsigned pf = 8)
@@ -82,14 +95,16 @@ eveSystems()
 
 /**
  * The Figure 6 experiment grid as a sweep spec: every Table III
- * system crossed with the paper's workload list. Shared by the
- * performance figure (which runs it), Table III (which only
- * enumerates expandedSystems()), and the sim-speed benchmark.
+ * system crossed with the paper's workload list (plus the RiVEC
+ * kernels under EVE_BENCH_RIVEC=1). Shared by the performance
+ * figure (which runs it), Table III (which only enumerates
+ * expandedSystems()), and the sim-speed benchmark (which pins the
+ * paper list for trajectory comparability).
  */
 inline exp::SweepSpec
 fig6Sweep(bool small)
 {
-    return exp::tableIIISweep(small);
+    return exp::tableIIISweep(small, rivecRuns());
 }
 
 /**

@@ -68,12 +68,24 @@ paperWorkloads()
     return names;
 }
 
+const std::vector<std::string>&
+rivecWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "axpy", "blackscholes", "streamcluster", "particlefilter"};
+    return names;
+}
+
 SweepSpec
-tableIIISweep(bool small)
+tableIIISweep(bool small, bool include_rivec)
 {
     SweepSpec spec;
     spec.systems(tableIIISystems());
-    spec.workloads(paperWorkloads(), small);
+    std::vector<std::string> names = paperWorkloads();
+    if (include_rivec)
+        names.insert(names.end(), rivecWorkloads().begin(),
+                     rivecWorkloads().end());
+    spec.workloads(names, small);
     return spec;
 }
 

@@ -44,11 +44,22 @@ std::vector<SystemConfig> eveDesignSystems();
 const std::vector<std::string>& paperWorkloads();
 
 /**
+ * The RiVEC-style extension kernels (axpy, blackscholes,
+ * streamcluster, particlefilter): streaming MAC, mask/branch,
+ * gather, and scatter/reduction shapes beyond the paper's suite.
+ */
+const std::vector<std::string>& rivecWorkloads();
+
+/**
  * The canonical Table III grid: every Table III system crossed with
  * the paper's workloads. This is the reference sweep for both the
  * performance figures and the simulator-speed benchmark.
+ * @p include_rivec appends the RiVEC extension kernels to the
+ * workload axis — off by default so BENCH_* trajectories (sim-speed,
+ * parity goldens) stay comparable across PRs; the benches opt in via
+ * EVE_BENCH_RIVEC=1.
  */
-SweepSpec tableIIISweep(bool small);
+SweepSpec tableIIISweep(bool small, bool include_rivec = false);
 
 /**
  * Deterministic result payload the parity fingerprint hashes.

@@ -174,6 +174,17 @@ class SweepSpec
     std::size_t systemCount() const;
     std::size_t workloadCount() const { return workload_list.size(); }
 
+    /** Workload-axis names, in append order. */
+    std::vector<std::string>
+    workloadNames() const
+    {
+        std::vector<std::string> names;
+        names.reserve(workload_list.size());
+        for (const auto& w : workload_list)
+            names.push_back(w.name);
+        return names;
+    }
+
   private:
     struct NamedWorkload
     {

@@ -1,0 +1,276 @@
+#include "report/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/fs.hh"
+#include "common/json.hh"
+
+namespace eve::report
+{
+
+std::string
+Record::key() const
+{
+    std::ostringstream os;
+    os << source << '|' << system << '|' << workload;
+    for (const auto& [name, value] : axes)
+        os << '|' << name << '=' << value;
+    os << '|' << (sampled ? "sampled" : "exact");
+    return os.str();
+}
+
+bool
+parseRecordLine(const std::string& line, Record& out)
+{
+    JsonValue v;
+    if (!parseJson(line, v) || !v.isObject())
+        return false;
+    const JsonValue* system = v.find("system");
+    const JsonValue* workload = v.find("workload");
+    const JsonValue* status = v.find("status");
+    if (!system || !system->isString() || !workload ||
+        !workload->isString() || !status || !status->isString())
+        return false;
+    Record r;
+    r.index = std::uint64_t(jsonNumberField(v, "index"));
+    r.label = jsonStringField(v, "label");
+    r.system = system->text;
+    r.workload = workload->text;
+    r.status = status->text;
+    r.error = jsonStringField(v, "error");
+    if (const JsonValue* axes = v.find("axes");
+        axes && axes->isObject()) {
+        for (const auto& [name, value] : axes->members)
+            r.axes[name] = value.isString()
+                               ? value.text
+                               : std::to_string(value.number);
+    }
+    if (const JsonValue* wall = v.find("wall_s");
+        wall && wall->isNumber()) {
+        r.has_wall = true;
+        r.wall_s = wall->number;
+    }
+    if (const JsonValue* sampled = v.find("sampled"))
+        r.sampled = sampled->boolean;
+    r.cycles = jsonNumberField(v, "cycles");
+    r.seconds = jsonNumberField(v, "seconds");
+    r.total_ticks = jsonNumberField(v, "total_ticks");
+    r.instrs = jsonNumberField(v, "instrs");
+    r.mismatches = jsonNumberField(v, "mismatches");
+    r.vec_instrs = jsonNumberField(v, "vec_instrs");
+    r.vec_elem_ops = jsonNumberField(v, "vec_elem_ops");
+    if (const JsonValue* stats = v.find("stats");
+        stats && stats->isObject()) {
+        for (const auto& [key, value] : stats->members)
+            if (value.isNumber())
+                r.stats[key] = value.number;
+    }
+    if (const JsonValue* b = v.find("breakdown"); b && b->isObject()) {
+        r.has_breakdown = true;
+        for (const auto& [key, value] : b->members)
+            if (value.isNumber())
+                r.breakdown[key] = value.number;
+        r.vmu_cache_stall_ticks =
+            jsonNumberField(v, "vmu_cache_stall_ticks");
+    }
+    out = std::move(r);
+    return true;
+}
+
+std::vector<Record>
+loadSweepFile(const std::string& path, LoadStats* stats,
+              const std::string& source)
+{
+    std::vector<Record> records;
+    std::string content;
+    if (!readFile(path, content))
+        return records;
+    const std::string name =
+        source.empty()
+            ? std::filesystem::path(path).filename().string()
+            : source;
+    if (stats)
+        ++stats->files;
+    std::istringstream is(content);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        Record r;
+        if (!parseRecordLine(line, r)) {
+            if (stats)
+                ++stats->skipped_lines;
+            continue;
+        }
+        r.source = name;
+        records.push_back(std::move(r));
+        if (stats)
+            ++stats->records;
+    }
+    return records;
+}
+
+std::vector<Record>
+loadSweepDir(const std::string& dir, LoadStats* stats)
+{
+    std::vector<Record> records;
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.size() < 6 ||
+            name.compare(name.size() - 6, 6, ".jsonl") != 0)
+            continue;
+        if (name == "cache.jsonl")
+            continue;
+        paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+        auto file = loadSweepFile(path, stats);
+        records.insert(records.end(),
+                       std::make_move_iterator(file.begin()),
+                       std::make_move_iterator(file.end()));
+    }
+    return records;
+}
+
+std::vector<Record>
+dedupCells(const std::vector<Record>& records)
+{
+    std::vector<Record> out;
+    std::unordered_map<std::string, std::size_t> index;
+    for (const auto& r : records) {
+        const std::string key = r.key();
+        auto [it, inserted] = index.emplace(key, out.size());
+        if (inserted)
+            out.push_back(r);
+        else
+            out[it->second] = r;
+    }
+    return out;
+}
+
+namespace
+{
+
+double
+pctChange(double base, double current)
+{
+    if (base == 0)
+        return 0;
+    return 100.0 * (current - base) / base;
+}
+
+} // namespace
+
+DeltaReport
+compareRuns(const std::vector<Record>& current,
+            const std::vector<Record>& baseline)
+{
+    DeltaReport report;
+    const auto cur = dedupCells(current);
+    const auto base = dedupCells(baseline);
+    std::unordered_map<std::string, const Record*> base_by_key;
+    for (const auto& r : base)
+        base_by_key[r.key()] = &r;
+    std::unordered_map<std::string, const Record*> cur_by_key;
+    for (const auto& r : cur)
+        cur_by_key[r.key()] = &r;
+
+    for (const auto& b : base)
+        if (!cur_by_key.count(b.key()))
+            report.missing_in_current.push_back(b.key());
+    for (const auto& c : cur) {
+        const auto it = base_by_key.find(c.key());
+        if (it == base_by_key.end()) {
+            report.missing_in_baseline.push_back(c.key());
+            continue;
+        }
+        const Record& b = *it->second;
+        ++report.cells;
+        if (c.status != b.status) {
+            Delta d;
+            d.key = c.key();
+            d.metric = "status";
+            d.status_change = true;
+            report.deltas.push_back(d);
+            if (b.ok() && !c.ok())
+                ++report.status_degradations;
+            continue;  // metric deltas are noise across a status flip
+        }
+        const std::pair<const char*, double Record::*> metrics[] = {
+            {"cycles", &Record::cycles},
+            {"seconds", &Record::seconds},
+            {"total_ticks", &Record::total_ticks},
+            {"instrs", &Record::instrs},
+            {"mismatches", &Record::mismatches},
+            {"vec_instrs", &Record::vec_instrs},
+            {"vec_elem_ops", &Record::vec_elem_ops},
+        };
+        for (const auto& [name, member] : metrics) {
+            const double bv = b.*member;
+            const double cv = c.*member;
+            if (bv == cv)
+                continue;
+            Delta d;
+            d.key = c.key();
+            d.metric = name;
+            d.base = bv;
+            d.current = cv;
+            d.pct = pctChange(bv, cv);
+            report.deltas.push_back(d);
+            // More cycles / more simulated time is the regression
+            // direction the gate cares about.
+            if ((d.metric == std::string("cycles") ||
+                 d.metric == std::string("seconds")) &&
+                d.pct > report.worst_regress_pct)
+                report.worst_regress_pct = d.pct;
+        }
+    }
+    return report;
+}
+
+bool
+gatePassed(const DeltaReport& report, double max_regress_pct)
+{
+    if (report.status_degradations > 0)
+        return false;
+    if (!report.missing_in_current.empty())
+        return false;
+    return report.worst_regress_pct <= max_regress_pct;
+}
+
+std::vector<std::string>
+renderDeltas(const DeltaReport& report)
+{
+    std::vector<std::string> lines;
+    char buf[512];
+    for (const auto& d : report.deltas) {
+        if (d.status_change) {
+            std::snprintf(buf, sizeof(buf), "STATUS  %s",
+                          d.key.c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          "%+8.3f%%  %-13s %s (%.6g -> %.6g)", d.pct,
+                          d.metric.c_str(), d.key.c_str(), d.base,
+                          d.current);
+        }
+        lines.push_back(buf);
+    }
+    for (const auto& key : report.missing_in_current)
+        lines.push_back("MISSING (was in baseline)  " + key);
+    for (const auto& key : report.missing_in_baseline)
+        lines.push_back("NEW (not in baseline)      " + key);
+    return lines;
+}
+
+} // namespace eve::report

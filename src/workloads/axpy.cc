@@ -1,0 +1,70 @@
+#include "workloads/axpy.hh"
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+AxpyWorkload::AxpyWorkload(std::size_t n) : n(n) {}
+
+void
+AxpyWorkload::init()
+{
+    mem.resize(2 * n * 4 + 64);
+    Rng rng(0xa991);
+    a = std::int32_t(rng.range(2, 9));
+    refY.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t x = std::int32_t(rng.range(-1000, 1000));
+        const std::int32_t y = std::int32_t(rng.range(-1000, 1000));
+        mem.store32(xAddr(i), x);
+        mem.store32(yAddr(i), y);
+        refY[i] = std::int32_t(std::uint32_t(y) +
+                               std::uint32_t(a) * std::uint32_t(x));
+    }
+}
+
+void
+AxpyWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t i = 0; i < n; ++i) {
+        e.load(xAddr(i), 5, 2);
+        e.load(yAddr(i), 6, 3);
+        e.mul(7, 5, 4);  // a * x
+        e.alu(6, 6, 7);  // y + a*x
+        e.store(yAddr(i), 6, 3);
+        e.alu(2, 2, 0);
+        e.alu(3, 3, 0);
+        e.alu(1, 1, 0);
+        e.branch(1);
+    }
+}
+
+void
+AxpyWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    for (std::size_t ib = 0; ib < n; ib += hw_vl) {
+        const std::uint32_t vl =
+            std::uint32_t(std::min<std::size_t>(hw_vl, n - ib));
+        e.setVl(vl);
+        e.vload(1, xAddr(ib), vl);
+        e.vload(2, yAddr(ib), vl);
+        e.vx(Op::VMacc, 2, 1, a, vl);  // y += a * x
+        e.vstore(2, yAddr(ib), vl);
+        e.stripOverhead(2);
+    }
+}
+
+std::uint64_t
+AxpyWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (mem.load32(yAddr(i)) != refY[i])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * axpy (RiVEC): y[i] += a * x[i] over int32 vectors — the canonical
+ * streaming multiply-accumulate kernel, the simplest member of the
+ * RiVEC-style extension suite. Unit-stride loads and stores only; no
+ * masks, no gathers.
+ */
+
+#ifndef EVE_WORKLOADS_AXPY_HH
+#define EVE_WORKLOADS_AXPY_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+class AxpyWorkload : public Workload
+{
+  public:
+    explicit AxpyWorkload(std::size_t n = std::size_t{1} << 20);
+
+    std::string name() const override { return "axpy"; }
+    std::string suite() const override { return "rivec"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr xAddr(std::size_t i) const { return Addr(i) * 4; }
+    Addr yAddr(std::size_t i) const { return Addr(n + i) * 4; }
+
+    std::size_t n;
+    std::int32_t a = 0;
+    std::vector<std::int32_t> refY;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_AXPY_HH

@@ -1,0 +1,112 @@
+#include "workloads/blackscholes.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+BlackscholesWorkload::BlackscholesWorkload(std::size_t n) : n(n) {}
+
+void
+BlackscholesWorkload::init()
+{
+    mem.resize(5 * n * 4 + 64);
+    Rng rng(0xb5c0);
+    refPrice.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t spot = std::int32_t(rng.range(8, 4000));
+        const std::int32_t strike = std::int32_t(rng.range(8, 4000));
+        const std::int32_t expiry = std::int32_t(rng.range(1, 8));
+        const std::int32_t type = std::int32_t(rng.below(2));
+        mem.store32(spotAddr(i), spot);
+        mem.store32(strikeAddr(i), strike);
+        mem.store32(expiryAddr(i), expiry);
+        mem.store32(typeAddr(i), type);
+
+        const std::int32_t d =
+            std::int32_t(std::uint32_t(spot) - std::uint32_t(strike));
+        const std::int32_t call = std::max(d, 0);
+        const std::int32_t put = std::max(-d, 0);
+        const std::int32_t intrinsic = type == 1 ? put : call;
+        std::int32_t tv = std::int32_t(std::uint32_t(spot >> 3) *
+                                       std::uint32_t(expiry));
+        if (intrinsic > 0)
+            tv >>= 1;  // in-the-money options carry less time value
+        std::int32_t price =
+            std::int32_t(std::uint32_t(intrinsic) + std::uint32_t(tv));
+        if (price > kPriceCap)
+            price = kPriceCap;
+        refPrice[i] = price;
+    }
+}
+
+void
+BlackscholesWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t i = 0; i < n; ++i) {
+        e.load(spotAddr(i), 5, 2);
+        e.load(strikeAddr(i), 6, 2);
+        e.load(expiryAddr(i), 7, 3);
+        e.load(typeAddr(i), 8, 3);
+        e.alu(9, 5, 6);    // d = spot - strike
+        e.branch(8);       // call or put?
+        e.alu(10, 9, 0);   // intrinsic = selected payoff
+        e.mul(11, 5, 7);   // time value
+        e.branch(10);      // in the money?
+        e.alu(11, 11, 0);  // halve time value
+        e.alu(12, 10, 11); // price
+        e.branch(12);      // above the cap?
+        e.alu(12, 12, 0);  // clamp
+        e.store(priceAddr(i), 12, 4);
+        e.alu(2, 2, 0);
+        e.alu(3, 3, 0);
+        e.alu(1, 1, 0);
+        e.branch(1);
+    }
+}
+
+void
+BlackscholesWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    for (std::size_t ib = 0; ib < n; ib += hw_vl) {
+        const std::uint32_t vl =
+            std::uint32_t(std::min<std::size_t>(hw_vl, n - ib));
+        e.setVl(vl);
+        e.vload(1, spotAddr(ib), vl);
+        e.vload(2, strikeAddr(ib), vl);
+        e.vload(3, expiryAddr(ib), vl);
+        e.vload(4, typeAddr(ib), vl);
+        e.vv(Op::VSub, 5, 1, 2, vl);       // d = spot - strike
+        e.vx(Op::VRsub, 6, 5, 0, vl);      // -d
+        e.vx(Op::VMax, 5, 5, 0, vl);       // call payoff
+        e.vx(Op::VMax, 6, 6, 0, vl);       // put payoff
+        e.vx(Op::VMseq, 0, 4, 1, vl);      // v0 = is-put mask
+        e.vv(Op::VMerge, 7, 6, 5, vl);     // intrinsic
+        e.vx(Op::VSra, 8, 1, 3, vl);       // spot >> 3
+        e.vv(Op::VMul, 8, 8, 3, vl);       // time value
+        e.vx(Op::VMsgt, 0, 7, 0, vl);      // v0 = in-the-money mask
+        e.vx(Op::VSra, 8, 8, 1, vl, true); // halve tv where ITM
+        e.vv(Op::VAdd, 9, 7, 8, vl);       // price
+        e.vx(Op::VMsgt, 0, 9, kPriceCap, vl);
+        e.vx(Op::VMvVX, 10, 0, kPriceCap, vl);
+        e.vv(Op::VMerge, 9, 10, 9, vl);    // clamp to the cap
+        e.vstore(9, priceAddr(ib), vl);
+        e.stripOverhead(2);
+    }
+}
+
+std::uint64_t
+BlackscholesWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (mem.load32(priceAddr(i)) != refPrice[i])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * blackscholes (RiVEC): fixed-point option pricing, the suite's
+ * mask/branch-heavy kernel. Each option carries a spot price, a
+ * strike, a time-to-expiry bucket, and a call/put flag; the scalar
+ * version branches per option on the option type, moneyness, and a
+ * price cap, while the vector version turns every branch into a
+ * v0 mask (VMseq/VMsgt) consumed by VMerge selects and a masked
+ * shift — the predication pattern EVE's paper calls out as the hard
+ * case for packed-SIMD baselines.
+ *
+ * The arithmetic is an integer surrogate of the Black-Scholes shape
+ * (intrinsic value + a decaying time value), not a float port: the
+ * ISA is integer-only, and what the timing model cares about is the
+ * mask density and operation mix, not the option maths.
+ */
+
+#ifndef EVE_WORKLOADS_BLACKSCHOLES_HH
+#define EVE_WORKLOADS_BLACKSCHOLES_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+class BlackscholesWorkload : public Workload
+{
+  public:
+    explicit BlackscholesWorkload(std::size_t n = std::size_t{1} << 18);
+
+    std::string name() const override { return "blackscholes"; }
+    std::string suite() const override { return "rivec"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr spotAddr(std::size_t i) const { return Addr(i) * 4; }
+    Addr strikeAddr(std::size_t i) const { return Addr(n + i) * 4; }
+    Addr expiryAddr(std::size_t i) const { return Addr(2 * n + i) * 4; }
+    Addr typeAddr(std::size_t i) const { return Addr(3 * n + i) * 4; }
+    Addr priceAddr(std::size_t i) const { return Addr(4 * n + i) * 4; }
+
+    static constexpr std::int32_t kPriceCap = 2500;
+
+    std::size_t n;
+    std::vector<std::int32_t> refPrice;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_BLACKSCHOLES_HH

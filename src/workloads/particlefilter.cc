@@ -1,0 +1,226 @@
+#include "workloads/particlefilter.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+ParticlefilterWorkload::ParticlefilterWorkload(std::size_t n,
+                                               std::size_t iters)
+    : n(n), iters(iters)
+{
+}
+
+void
+ParticlefilterWorkload::init()
+{
+    mem.resize(((3 + 2 * iters) * n + 2 * iters) * 4 + 64);
+    Rng rng(0x9f17);
+    std::vector<std::int32_t> cur(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        cur[p] = std::int32_t(rng.below(4096));
+        mem.store32(bufAddr(0, p), cur[p]);
+    }
+
+    cnt.assign(iters, {});
+    dstart.assign(iters, {});
+    maxCnt.assign(iters, 0);
+    srcOf.assign(iters, {});
+    refTotal.resize(iters);
+    refMax.resize(iters);
+    std::vector<std::int32_t> w(n);
+    std::vector<std::int32_t> next(n);
+    std::vector<std::uint64_t> cum(n);
+    for (std::size_t t = 0; t < iters; ++t) {
+        const std::int32_t obs = observation(t);
+        std::uint32_t total = 0;
+        std::int32_t wmax = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+            w[p] = 32 + std::min(std::abs(cur[p] - obs), 32);
+            total += std::uint32_t(w[p]);
+            wmax = std::max(wmax, w[p]);
+        }
+        refTotal[t] = std::int32_t(total);
+        refMax[t] = wmax;
+        std::uint64_t run = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+            run += std::uint64_t(w[p]);
+            cum[p] = run;
+        }
+        // Systematic resampling: n evenly-spaced positions in the
+        // cumulative weight; cnt[i] replicas of particle i, packed
+        // into slots [dstart[i], dstart[i] + cnt[i]).
+        cnt[t].assign(n, 0);
+        srcOf[t].resize(n);
+        std::size_t i = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::uint64_t u =
+                (std::uint64_t(2 * j + 1) * total) / (2 * n);
+            while (cum[i] <= u)
+                ++i;
+            ++cnt[t][i];
+            srcOf[t][j] = i;
+        }
+        dstart[t].resize(n);
+        std::int32_t acc = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+            dstart[t][p] = acc;
+            acc += cnt[t][p];
+            maxCnt[t] = std::max(maxCnt[t], cnt[t][p]);
+            mem.store32(cntAddr(t, p), cnt[t][p]);
+            mem.store32(dstartAddr(t, p), dstart[t][p]);
+        }
+        const std::int32_t dr = drift(t);
+        for (std::size_t j = 0; j < n; ++j)
+            next[j] = std::int32_t(
+                std::uint32_t(cur[srcOf[t][j]]) + std::uint32_t(dr));
+        cur.swap(next);
+    }
+    refW = w;
+    refX = cur;
+}
+
+void
+ParticlefilterWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t t = 0; t < iters; ++t) {
+        const std::size_t rd = t % 2;
+        const std::size_t wr = 1 - rd;
+        for (std::size_t p = 0; p < n; ++p) {
+            e.load(bufAddr(rd, p), 5, 2);
+            e.alu(6, 5, 0);   // x - obs
+            e.branch(6);      // abs
+            e.alu(6, 6, 0);
+            e.branch(6);      // clamp at 32
+            e.alu(6, 6, 0);   // + floor
+            e.store(wAddr(p), 6, 3);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+        for (std::size_t p = 0; p < n; ++p) {
+            e.load(wAddr(p), 5, 3);
+            e.alu(7, 7, 5);   // total
+            e.branch(5);      // max update
+            e.alu(8, 8, 5);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+        e.store(totAddr(t, 0), 7, 4);
+        e.store(totAddr(t, 1), 8, 4);
+        for (std::size_t j = 0; j < n; ++j) {
+            e.load(bufAddr(rd, srcOf[t][j]), 5, 6);
+            e.alu(5, 5, 0);   // drift
+            e.store(bufAddr(wr, j), 5, 2);
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+    }
+}
+
+void
+ParticlefilterWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    std::vector<std::uint32_t> offsets;
+    for (std::size_t t = 0; t < iters; ++t) {
+        const std::size_t rd = t % 2;
+        const std::size_t wr = 1 - rd;
+        const std::int32_t obs = observation(t);
+        // 1. Likelihood weights.
+        for (std::size_t pb = 0; pb < n; pb += hw_vl) {
+            const std::uint32_t vl =
+                std::uint32_t(std::min<std::size_t>(hw_vl, n - pb));
+            e.setVl(vl);
+            e.vload(1, bufAddr(rd, pb), vl);
+            e.vx(Op::VSub, 2, 1, obs, vl);
+            e.vx(Op::VRsub, 3, 2, 0, vl);
+            e.vv(Op::VMax, 2, 2, 3, vl);  // |x - obs|
+            e.vx(Op::VMin, 2, 2, 32, vl);
+            e.vx(Op::VAdd, 2, 2, 32, vl);
+            e.vstore(2, wAddr(pb), vl);
+            e.stripOverhead(1);
+        }
+        // 2. Total and peak weight.
+        e.setVl(1);
+        e.vx(Op::VMvVX, 4, 0, 0, 1);
+        e.vx(Op::VMvVX, 5, 0, 0, 1);
+        for (std::size_t pb = 0; pb < n; pb += hw_vl) {
+            const std::uint32_t vl =
+                std::uint32_t(std::min<std::size_t>(hw_vl, n - pb));
+            e.setVl(vl);
+            e.vload(2, wAddr(pb), vl);
+            e.vv(Op::VRedSum, 4, 2, 4, vl);
+            e.vv(Op::VRedMax, 5, 2, 5, vl);
+            e.stripOverhead(1);
+        }
+        e.setVl(1);
+        e.vstore(4, totAddr(t, 0), 1);
+        e.vstore(5, totAddr(t, 1), 1);
+        Instr mv;  // read the total back for the resampling step
+        mv.op = Op::VMvXS;
+        mv.src1 = 4;
+        mv.vl = 1;
+        sink.consume(mv);
+        // 3. Systematic-resampling scatter rounds: round r copies
+        // every particle with cnt > r into slot dstart + r.
+        for (std::int32_t r = 0; r < maxCnt[t]; ++r) {
+            for (std::size_t pb = 0; pb < n; pb += hw_vl) {
+                const std::uint32_t vl = std::uint32_t(
+                    std::min<std::size_t>(hw_vl, n - pb));
+                e.setVl(vl);
+                e.vload(6, cntAddr(t, pb), vl);
+                e.vload(7, dstartAddr(t, pb), vl);
+                e.vx(Op::VAdd, 7, 7, r, vl);
+                e.vx(Op::VSll, 7, 7, 2, vl);  // byte offsets
+                e.vx(Op::VMsgt, 0, 6, r, vl);
+                e.vload(1, bufAddr(rd, pb), vl);
+                offsets.resize(vl);
+                for (std::uint32_t i = 0; i < vl; ++i) {
+                    // Inactive lanes never store; keep their (unused)
+                    // offsets in range for the timing model.
+                    const std::int32_t slot = std::min<std::int32_t>(
+                        dstart[t][pb + i] + r, std::int32_t(n) - 1);
+                    offsets[i] = std::uint32_t(slot) * 4;
+                }
+                e.vstoreIndexed(1, bufAddr(wr, 0), offsets, 7, true);
+                e.stripOverhead(2);
+            }
+        }
+        // 4. Drift update on the resampled population.
+        for (std::size_t pb = 0; pb < n; pb += hw_vl) {
+            const std::uint32_t vl =
+                std::uint32_t(std::min<std::size_t>(hw_vl, n - pb));
+            e.setVl(vl);
+            e.vload(1, bufAddr(wr, pb), vl);
+            e.vx(Op::VAdd, 1, 1, drift(t), vl);
+            e.vstore(1, bufAddr(wr, pb), vl);
+            e.stripOverhead(1);
+        }
+    }
+}
+
+std::uint64_t
+ParticlefilterWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    const std::size_t fin = iters % 2;
+    for (std::size_t p = 0; p < n; ++p) {
+        if (mem.load32(bufAddr(fin, p)) != refX[p])
+            ++bad;
+        if (mem.load32(wAddr(p)) != refW[p])
+            ++bad;
+    }
+    for (std::size_t t = 0; t < iters; ++t) {
+        if (mem.load32(totAddr(t, 0)) != refTotal[t])
+            ++bad;
+        if (mem.load32(totAddr(t, 1)) != refMax[t])
+            ++bad;
+    }
+    return bad;
+}
+
+} // namespace eve

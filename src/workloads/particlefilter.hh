@@ -1,0 +1,84 @@
+/**
+ * @file
+ * particlefilter (RiVEC): the scatter + reduction mix from the
+ * particle-filter tracker. Each iteration scores every particle
+ * against an observation (abs-difference likelihood, clamped),
+ * reduces the weight vector to its total and maximum (VRedSum /
+ * VRedMax across strips), and then systematically resamples: every
+ * surviving particle is replicated into a contiguous run of output
+ * slots, emitted as rounds of *masked scatters* (VStoreIndexed under
+ * a cnt > round mask) into the alternate position buffer, followed
+ * by a broadcast drift update.
+ *
+ * The resampling plan (per-particle replication count and
+ * destination start) is precomputed by the reference and stored in
+ * memory as an input — the vector program loads it, builds the index
+ * vector in-register, and scatters, replaying the recorded execution
+ * exactly like the k-means/streamcluster gathers do.
+ */
+
+#ifndef EVE_WORKLOADS_PARTICLEFILTER_HH
+#define EVE_WORKLOADS_PARTICLEFILTER_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+class ParticlefilterWorkload : public Workload
+{
+  public:
+    explicit ParticlefilterWorkload(std::size_t n = 65536,
+                                    std::size_t iters = 4);
+
+    std::string name() const override { return "particlefilter"; }
+    std::string suite() const override { return "rivec"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr bufAddr(std::size_t which, std::size_t p) const
+    {
+        return Addr(which * n + p) * 4;
+    }
+    Addr wAddr(std::size_t p) const { return Addr(2 * n + p) * 4; }
+    Addr cntAddr(std::size_t t, std::size_t p) const
+    {
+        return Addr((3 + t) * n + p) * 4;
+    }
+    Addr dstartAddr(std::size_t t, std::size_t p) const
+    {
+        return Addr((3 + iters + t) * n + p) * 4;
+    }
+    Addr totAddr(std::size_t t, std::size_t k) const
+    {
+        return Addr((3 + 2 * iters) * n + 2 * t + k) * 4;
+    }
+
+    static std::int32_t observation(std::size_t t)
+    {
+        return std::int32_t((t * 977 + 501) % 4096);
+    }
+    static std::int32_t drift(std::size_t t)
+    {
+        return std::int32_t((t * 37 + 11) % 64);
+    }
+
+    std::size_t n;
+    std::size_t iters;
+    /** Per-iteration resampling plan (inputs written by init()). */
+    std::vector<std::vector<std::int32_t>> cnt;
+    std::vector<std::vector<std::int32_t>> dstart;
+    std::vector<std::int32_t> maxCnt;        ///< scatter rounds per iter
+    std::vector<std::vector<std::size_t>> srcOf; ///< dest -> source
+    std::vector<std::int32_t> refTotal;
+    std::vector<std::int32_t> refMax;
+    std::vector<std::int32_t> refW;          ///< final-iteration weights
+    std::vector<std::int32_t> refX;          ///< final positions
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_PARTICLEFILTER_HH

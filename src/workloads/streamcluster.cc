@@ -1,0 +1,211 @@
+#include "workloads/streamcluster.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/rng.hh"
+
+namespace eve
+{
+
+StreamclusterWorkload::StreamclusterWorkload(std::size_t npoints,
+                                             std::size_t nfeat,
+                                             std::size_t ncand)
+    : npoints(npoints), nfeat(nfeat), ncand(ncand)
+{
+}
+
+std::uint32_t
+StreamclusterWorkload::distance(std::size_t p, std::size_t q) const
+{
+    std::uint32_t acc = 0;
+    for (std::size_t f = 0; f < nfeat; ++f) {
+        const std::int32_t diff =
+            feat[p * nfeat + f] - feat[q * nfeat + f];
+        if (f % 4 == 0)
+            acc += std::uint32_t(diff) * std::uint32_t(diff);
+        else
+            acc += std::uint32_t(std::abs(diff));
+    }
+    return acc;
+}
+
+void
+StreamclusterWorkload::init()
+{
+    mem.resize((npoints * nfeat + 3 * npoints + ncand) * 4 + 64);
+    Rng rng(0x57c1);
+    feat.resize(npoints * nfeat);
+    for (std::size_t i = 0; i < feat.size(); ++i) {
+        feat[i] = std::int32_t(rng.below(256));
+        mem.store32(ptAddr(i), feat[i]);
+    }
+    centerPt.resize(kCenters);
+    for (std::size_t c = 0; c < kCenters; ++c)
+        centerPt[c] = rng.below(npoints);
+    candPt.resize(ncand);
+    for (std::size_t c = 0; c < ncand; ++c)
+        candPt[c] = rng.below(npoints);
+    assign.resize(npoints);
+    for (std::size_t p = 0; p < npoints; ++p) {
+        assign[p] = std::int32_t(rng.below(kCenters));
+        mem.store32(assignAddr(p), assign[p]);
+    }
+
+    refCost.resize(npoints);
+    refAssign.resize(npoints);
+    refSavings.assign(ncand, 0);
+    for (std::size_t p = 0; p < npoints; ++p) {
+        std::uint32_t best =
+            distance(p, centerPt[std::size_t(assign[p])]);
+        std::int32_t best_id = assign[p];
+        for (std::size_t c = 0; c < ncand; ++c) {
+            const std::uint32_t dc = distance(p, candPt[c]);
+            if (std::int32_t(dc) < std::int32_t(best)) {
+                refSavings[c] = std::int32_t(
+                    std::uint32_t(refSavings[c]) + (best - dc));
+                best = dc;
+                best_id = std::int32_t(kCenters + c);
+            }
+        }
+        refCost[p] = std::int32_t(best);
+        refAssign[p] = best_id;
+    }
+}
+
+void
+StreamclusterWorkload::emitScalar(InstrSink& sink)
+{
+    Emit e(sink);
+    for (std::size_t p = 0; p < npoints; ++p) {
+        const std::size_t home = centerPt[std::size_t(assign[p])];
+        e.load(assignAddr(p), 5, 2);
+        for (std::size_t f = 0; f < nfeat; ++f) {
+            e.load(ptAddr(p * nfeat + f), 6, 2);
+            e.load(ptAddr(home * nfeat + f), 7, 5);
+            e.alu(8, 6, 7);  // diff
+            if (f % 4 == 0)
+                e.mul(8, 8, 8);
+            e.alu(9, 9, 8);  // accumulate
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+        for (std::size_t c = 0; c < ncand; ++c) {
+            for (std::size_t f = 0; f < nfeat; ++f) {
+                e.load(ptAddr(p * nfeat + f), 6, 2);
+                e.load(ptAddr(candPt[c] * nfeat + f), 7, 3);
+                e.alu(8, 6, 7);
+                if (f % 4 == 0)
+                    e.mul(8, 8, 8);
+                e.alu(10, 10, 8);
+                e.alu(1, 1, 0);
+                e.branch(1);
+            }
+            e.branch(10);     // closer than the running best?
+            e.alu(11, 9, 10); // saving
+            e.alu(9, 10, 0);  // adopt candidate cost
+        }
+        e.store(costAddr(p), 9, 4);
+        e.store(newAssignAddr(p), 11, 4);
+        e.alu(2, 2, 0);
+        e.alu(1, 1, 0);
+        e.branch(1);
+    }
+    for (std::size_t c = 0; c < ncand; ++c)
+        e.store(savingsAddr(c), 11, 4);
+}
+
+void
+StreamclusterWorkload::emitVector(InstrSink& sink, std::uint32_t hw_vl)
+{
+    Emit e(sink);
+    std::vector<std::uint32_t> offsets;
+    // One savings accumulator register per candidate (v24..), summed
+    // across strips via masked reductions.
+    e.setVl(1);
+    for (std::size_t c = 0; c < ncand; ++c)
+        e.vx(Op::VMvVX, unsigned(24 + c), 0, 0, 1);
+    for (std::size_t pb = 0; pb < npoints; pb += hw_vl) {
+        const std::uint32_t vl =
+            std::uint32_t(std::min<std::size_t>(hw_vl, npoints - pb));
+        e.setVl(vl);
+        e.vload(10, assignAddr(pb), vl);
+        e.vx(Op::VMul, 11, 10, std::int64_t(nfeat) * 4, vl);
+        e.vx(Op::VMvVX, 13, 0, 0, vl);  // assigned-center distance
+        for (std::size_t f = 0; f < nfeat; ++f) {
+            e.vloadStrided(12, ptAddr(pb * nfeat + f),
+                           std::int64_t(nfeat) * 4, vl);
+            offsets.resize(vl);
+            for (std::uint32_t i = 0; i < vl; ++i) {
+                const std::size_t home =
+                    centerPt[std::size_t(assign[pb + i])];
+                offsets[i] = std::uint32_t((home * nfeat + f) * 4);
+            }
+            e.vloadIndexed(14, ptAddr(0), offsets, 11);
+            e.vv(Op::VSub, 15, 12, 14, vl);
+            if (f % 4 == 0) {
+                e.vv(Op::VMacc, 13, 15, 15, vl);
+            } else {
+                e.vx(Op::VRsub, 16, 15, 0, vl);
+                e.vv(Op::VMax, 15, 15, 16, vl);  // |diff|
+                e.vv(Op::VAdd, 13, 13, 15, vl);
+            }
+            e.alu(1, 1, 0);
+            e.branch(1);
+        }
+        e.vx(Op::VAdd, 20, 13, 0, vl);  // running best distance
+        e.vx(Op::VAdd, 21, 10, 0, vl);  // running best center id
+        for (std::size_t c = 0; c < ncand; ++c) {
+            e.vx(Op::VMvVX, 22, 0, 0, vl);  // candidate distance
+            for (std::size_t f = 0; f < nfeat; ++f) {
+                e.vloadStrided(12, ptAddr(pb * nfeat + f),
+                               std::int64_t(nfeat) * 4, vl);
+                e.vx(Op::VSub, 15, 12,
+                     feat[candPt[c] * nfeat + f], vl);
+                if (f % 4 == 0) {
+                    e.vv(Op::VMacc, 22, 15, 15, vl);
+                } else {
+                    e.vx(Op::VRsub, 16, 15, 0, vl);
+                    e.vv(Op::VMax, 15, 15, 16, vl);
+                    e.vv(Op::VAdd, 22, 22, 15, vl);
+                }
+                e.alu(1, 1, 0);
+                e.branch(1);
+            }
+            e.vv(Op::VMslt, 0, 22, 20, vl);  // closer mask
+            e.vv(Op::VSub, 23, 20, 22, vl);  // saving where closer
+            e.vv(Op::VRedSum, unsigned(24 + c), 23,
+                 unsigned(24 + c), vl, true);
+            e.vx(Op::VMvVX, 28, 0, std::int64_t(kCenters + c), vl);
+            e.vv(Op::VMerge, 21, 28, 21, vl);
+            e.vv(Op::VMerge, 20, 22, 20, vl);
+            e.branch(9);
+        }
+        e.vstore(20, costAddr(pb), vl);
+        e.vstore(21, newAssignAddr(pb), vl);
+        e.stripOverhead(2);
+    }
+    e.setVl(1);
+    for (std::size_t c = 0; c < ncand; ++c) {
+        e.vstore(unsigned(24 + c), savingsAddr(c), 1);
+        e.stripOverhead(1);
+    }
+}
+
+std::uint64_t
+StreamclusterWorkload::verify() const
+{
+    std::uint64_t bad = 0;
+    for (std::size_t p = 0; p < npoints; ++p) {
+        if (mem.load32(costAddr(p)) != refCost[p])
+            ++bad;
+        if (mem.load32(newAssignAddr(p)) != refAssign[p])
+            ++bad;
+    }
+    for (std::size_t c = 0; c < ncand; ++c)
+        if (mem.load32(savingsAddr(c)) != refSavings[c])
+            ++bad;
+    return bad;
+}
+
+} // namespace eve

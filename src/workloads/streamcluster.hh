@@ -1,0 +1,78 @@
+/**
+ * @file
+ * streamcluster (RiVEC): the gather-heavy distance kernel from the
+ * streaming k-median clusterer. Every point evaluates its distance
+ * to its currently-assigned center — whose coordinates live wherever
+ * that center's point sits, so each feature is a vloadIndexed gather
+ * keyed by the per-point assignment — then tests a handful of
+ * candidate centers for a cheaper assignment, accumulating the
+ * masked "cost saving" each candidate would realize (the quantity
+ * streamcluster's gain() reduces) and tracking the running best via
+ * VMslt/VMerge.
+ *
+ * The assignment gathers replay the precomputed reference state
+ * (trace-driven idiom, exactly like k-means); candidate-center
+ * coordinates are generation-time constants broadcast as vx scalars.
+ */
+
+#ifndef EVE_WORKLOADS_STREAMCLUSTER_HH
+#define EVE_WORKLOADS_STREAMCLUSTER_HH
+
+#include "workloads/workload.hh"
+
+namespace eve
+{
+
+class StreamclusterWorkload : public Workload
+{
+  public:
+    StreamclusterWorkload(std::size_t npoints = 32768,
+                          std::size_t nfeat = 16,
+                          std::size_t ncand = 4);
+
+    std::string name() const override { return "streamcluster"; }
+    std::string suite() const override { return "rivec"; }
+    void init() override;
+    void emitScalar(InstrSink& sink) override;
+    void emitVector(InstrSink& sink, std::uint32_t hw_vl) override;
+    std::uint64_t verify() const override;
+
+  private:
+    Addr ptAddr(std::size_t flat) const { return Addr(flat) * 4; }
+    Addr assignAddr(std::size_t p) const
+    {
+        return Addr(npoints * nfeat + p) * 4;
+    }
+    Addr costAddr(std::size_t p) const
+    {
+        return Addr(npoints * nfeat + npoints + p) * 4;
+    }
+    Addr newAssignAddr(std::size_t p) const
+    {
+        return Addr(npoints * nfeat + 2 * npoints + p) * 4;
+    }
+    Addr savingsAddr(std::size_t c) const
+    {
+        return Addr(npoints * nfeat + 3 * npoints + c) * 4;
+    }
+
+    /** Mixed metric: squared diff every 4th feature, |diff| else. */
+    std::uint32_t distance(std::size_t p, std::size_t q) const;
+
+    static constexpr std::size_t kCenters = 4;
+
+    std::size_t npoints;
+    std::size_t nfeat;
+    std::size_t ncand;
+    std::vector<std::int32_t> feat;     ///< point features (row-major)
+    std::vector<std::size_t> centerPt;  ///< center c -> its point index
+    std::vector<std::size_t> candPt;    ///< candidate c -> point index
+    std::vector<std::int32_t> assign;   ///< initial assignment (input)
+    std::vector<std::int32_t> refCost;
+    std::vector<std::int32_t> refAssign;
+    std::vector<std::int32_t> refSavings;
+};
+
+} // namespace eve
+
+#endif // EVE_WORKLOADS_STREAMCLUSTER_HH

@@ -1,13 +1,17 @@
 #include "workloads/workload.hh"
 
+#include "workloads/axpy.hh"
 #include "workloads/backprop.hh"
+#include "workloads/blackscholes.hh"
 #include "workloads/fir.hh"
 #include "workloads/jacobi2d.hh"
 #include "workloads/kmeans.hh"
 #include "workloads/mmult.hh"
+#include "workloads/particlefilter.hh"
 #include "workloads/pathfinder.hh"
 #include "workloads/scan.hh"
 #include "workloads/spmv.hh"
+#include "workloads/streamcluster.hh"
 #include "workloads/sw.hh"
 #include "workloads/vvadd.hh"
 
@@ -46,6 +50,20 @@ makeWorkload(const std::string& name, bool small)
     if (name == "scan")
         return small ? std::make_unique<ScanWorkload>(4096)
                      : std::make_unique<ScanWorkload>();
+    // RiVEC-style suite (Ramirez et al.): streaming MAC, mask/branch,
+    // gather, and scatter/reduction shapes.
+    if (name == "axpy")
+        return std::make_unique<AxpyWorkload>(small ? 4096 : 1 << 20);
+    if (name == "blackscholes")
+        return std::make_unique<BlackscholesWorkload>(small ? 4096
+                                                            : 1 << 18);
+    if (name == "streamcluster")
+        return small
+                   ? std::make_unique<StreamclusterWorkload>(512, 8, 3)
+                   : std::make_unique<StreamclusterWorkload>();
+    if (name == "particlefilter")
+        return small ? std::make_unique<ParticlefilterWorkload>(1024, 2)
+                     : std::make_unique<ParticlefilterWorkload>();
     return nullptr;
 }
 

@@ -186,7 +186,7 @@ class Emit
     void
     vloadIndexed(unsigned dst, Addr addr,
                  const std::vector<std::uint32_t>& offsets,
-                 unsigned idx_reg)
+                 unsigned idx_reg, bool masked = false)
     {
         Instr i;
         i.op = Op::VLoadIndexed;
@@ -195,13 +195,14 @@ class Emit
         i.addr = addr;
         i.vl = std::uint32_t(offsets.size());
         i.indices = offsets.data();
+        i.masked = masked;
         sink.consume(i);
     }
 
     void
     vstoreIndexed(unsigned src, Addr addr,
                   const std::vector<std::uint32_t>& offsets,
-                  unsigned idx_reg)
+                  unsigned idx_reg, bool masked = false)
     {
         Instr i;
         i.op = Op::VStoreIndexed;
@@ -210,6 +211,7 @@ class Emit
         i.addr = addr;
         i.vl = std::uint32_t(offsets.size());
         i.indices = offsets.data();
+        i.masked = masked;
         sink.consume(i);
     }
 

@@ -195,6 +195,12 @@ parseKind(const std::string& name)
           "O3EVE)", name.c_str());
 }
 
+/**
+ * Default workload axis: the paper's Table IV list. The RiVEC-style
+ * extension kernels (axpy, blackscholes, streamcluster,
+ * particlefilter) and the other extension kernels (spmv, fir, scan)
+ * are opt-in via --workloads.
+ */
 const std::vector<std::string> kAllWorkloads = {
     "vvadd", "mmult", "k-means", "pathfinder", "jacobi-2d",
     "backprop", "sw"};
@@ -396,6 +402,10 @@ main(int argc, char** argv)
                 "state across sampled jobs.\n"
                 "--parity checks result fingerprints against a golden\n"
                 "file, exactly like eve_perf --parity.\n"
+                "--workloads defaults to the paper's seven kernels;\n"
+                "extension kernels (axpy, blackscholes,\n"
+                "streamcluster, particlefilter, spmv, fir, scan) are\n"
+                "available by name — see docs/WORKLOADS.md.\n"
                 "       eve_sweep --status --jobs-dir DIR\n"
                 "       eve_sweep --stop --jobs-dir DIR\n"
                 "       eve_sweep --serve --jobs-dir DIR [--socket P]\n"
